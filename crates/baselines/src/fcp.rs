@@ -1,0 +1,223 @@
+//! Failure-Carrying Packets (FCP) — the paper's strongest baseline.
+//!
+//! FCP (Lakshminarayanan et al., SIGCOMM 2007; the PR paper's
+//! reference [8]) achieves the same full-coverage goal as PR with the
+//! opposite trade-off: packets **carry the list of failed links they
+//! have encountered**, and every router forwards along the shortest
+//! path in the topology *minus* the carried failures, recomputing
+//! routes on demand. Delivery is guaranteed whenever the network
+//! remains connected, and paths are close to optimal — but the header
+//! grows with the number of carried failures and each carried-failure
+//! arrival costs a shortest-path recomputation at the router, which is
+//! exactly the overhead PR's §6 comparison highlights.
+//!
+//! This implementation follows the FCP paper's link-state variant:
+//!
+//! * all routers share the same (stale, failure-free) base map;
+//! * a packet's header failure list is authoritative: routers union it
+//!   with locally detected failures of their own interfaces;
+//! * if the destination is unreachable in `G \ carried`, the packet is
+//!   dropped (FCP can *prove* unreachability, unlike PR).
+
+use pr_core::{DropReason, ForwardDecision, ForwardingAgent};
+use pr_graph::{Dart, Graph, LinkId, LinkSet, NodeId, SpTree};
+
+/// Per-packet FCP header: the sorted list of link failures the packet
+/// has learnt about.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct FcpState {
+    /// Sorted, deduplicated failed-link list (the FCP header payload).
+    pub carried: Vec<LinkId>,
+}
+
+impl FcpState {
+    /// Adds a failure to the carried list, keeping it sorted.
+    pub fn learn(&mut self, link: LinkId) {
+        if let Err(pos) = self.carried.binary_search(&link) {
+            self.carried.insert(pos, link);
+        }
+    }
+
+    /// `true` if the packet already carries this failure.
+    pub fn knows(&self, link: LinkId) -> bool {
+        self.carried.binary_search(&link).is_ok()
+    }
+}
+
+/// The FCP forwarding agent.
+///
+/// Routers recompute shortest paths per decision (the honest cost
+/// model; the FCP paper's caching optimisations change constants, not
+/// semantics — and experiment E9 measures exactly this recomputation
+/// cost against PR's table lookups).
+#[derive(Debug, Clone)]
+pub struct FcpAgent<'a> {
+    graph: &'a Graph,
+    /// Bits charged per carried link id in the header accounting:
+    /// `ceil(log2(link_count))`, plus [`Self::LENGTH_FIELD_BITS`] once.
+    link_id_bits: usize,
+}
+
+impl<'a> FcpAgent<'a> {
+    /// Bits of the header length field in the overhead accounting.
+    pub const LENGTH_FIELD_BITS: usize = 8;
+
+    /// Creates an FCP agent over the base (failure-free) map.
+    pub fn new(graph: &'a Graph) -> FcpAgent<'a> {
+        let m = graph.link_count().max(1) as u64;
+        let link_id_bits = (64 - (m - 1).leading_zeros() as usize).max(1);
+        FcpAgent { graph, link_id_bits }
+    }
+
+    /// Bits one carried link id occupies in the header.
+    pub fn link_id_bits(&self) -> usize {
+        self.link_id_bits
+    }
+
+    /// The effective topology the packet routes on: base map minus
+    /// carried failures.
+    fn effective_failures(&self, state: &FcpState) -> LinkSet {
+        LinkSet::from_links(self.graph.link_count(), state.carried.iter().copied())
+    }
+}
+
+impl<'a> ForwardingAgent for FcpAgent<'a> {
+    type State = FcpState;
+
+    fn label(&self) -> &'static str {
+        "fcp"
+    }
+
+    fn decide(
+        &self,
+        at: NodeId,
+        _ingress: Option<Dart>,
+        dest: NodeId,
+        state: &mut FcpState,
+        failed: &LinkSet,
+    ) -> ForwardDecision {
+        // Learn locally visible failures eagerly: FCP routers advertise
+        // their own interfaces' state into transiting packets.
+        for &d in self.graph.darts_from(at) {
+            if failed.contains_dart(d) {
+                state.learn(d.link());
+            }
+        }
+        loop {
+            let known = self.effective_failures(state);
+            let tree = SpTree::towards(self.graph, dest, &known);
+            let Some(out) = tree.next_dart(at) else {
+                return if tree.reaches(at) {
+                    // at == dest is handled by the engine; reaching here
+                    // with no next dart means the tree is degenerate.
+                    ForwardDecision::Drop(DropReason::ProtocolViolation)
+                } else {
+                    ForwardDecision::Drop(DropReason::Unreachable)
+                };
+            };
+            if failed.contains_dart(out) {
+                // The freshly failed link was not in the carried list
+                // (e.g. a remote link we only discover on arrival):
+                // learn it and recompute — the defining FCP step.
+                state.learn(out.link());
+                continue;
+            }
+            return ForwardDecision::Forward(out);
+        }
+    }
+
+    fn header_bits(&self, state: &FcpState) -> usize {
+        Self::LENGTH_FIELD_BITS + state.carried.len() * self.link_id_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pr_core::{generous_ttl, walk_packet, WalkResult};
+    use pr_graph::generators;
+
+    #[test]
+    fn failure_free_is_shortest_path() {
+        let g = generators::ring(6, 1);
+        let agent = FcpAgent::new(&g);
+        let none = LinkSet::empty(g.link_count());
+        let walk = walk_packet(&g, &agent, NodeId(2), NodeId(0), &none, generous_ttl(&g));
+        assert!(walk.result.is_delivered());
+        assert_eq!(walk.path.hop_count(), 2);
+        assert_eq!(walk.peak_header_bits, FcpAgent::LENGTH_FIELD_BITS);
+    }
+
+    #[test]
+    fn reroutes_and_grows_header() {
+        let g = generators::ring(6, 1);
+        let agent = FcpAgent::new(&g);
+        let direct = g.find_link(NodeId(1), NodeId(0)).unwrap();
+        let failed = LinkSet::from_links(g.link_count(), [direct]);
+        let walk = walk_packet(&g, &agent, NodeId(1), NodeId(0), &failed, generous_ttl(&g));
+        assert!(walk.result.is_delivered());
+        assert_eq!(walk.path.hop_count(), 5, "FCP takes the survivor shortest path");
+        assert_eq!(
+            walk.peak_header_bits,
+            FcpAgent::LENGTH_FIELD_BITS + agent.link_id_bits(),
+            "one carried failure"
+        );
+    }
+
+    #[test]
+    fn multiple_failures_accumulate_in_header() {
+        // Ring + chord 0-3. Fail 1-0 and the chord: a packet 2 -> 0
+        // discovers 1-0 at node 1 (reroutes via the chord), then
+        // discovers the chord dead at node 3, and finally goes the
+        // long way — carrying TWO failures in its header.
+        let mut g = generators::ring(6, 1);
+        let chord = g.add_link(NodeId(0), NodeId(3), 1).unwrap();
+        let agent = FcpAgent::new(&g);
+        let f1 = g.find_link(NodeId(1), NodeId(0)).unwrap();
+        let failed = LinkSet::from_links(g.link_count(), [f1, chord]);
+        let walk = walk_packet(&g, &agent, NodeId(2), NodeId(0), &failed, generous_ttl(&g));
+        assert!(walk.result.is_delivered(), "got {:?}", walk.result);
+        assert_eq!(
+            walk.peak_header_bits,
+            FcpAgent::LENGTH_FIELD_BITS + 2 * agent.link_id_bits(),
+            "two carried failures"
+        );
+        assert_eq!(walk.path.display(&g, NodeId(2)), "2 -> 1 -> 2 -> 3 -> 4 -> 5 -> 0");
+    }
+
+    #[test]
+    fn proves_unreachability() {
+        let g = generators::ring(4, 1);
+        let agent = FcpAgent::new(&g);
+        // Isolate node 0.
+        let l01 = g.find_link(NodeId(0), NodeId(1)).unwrap();
+        let l30 = g.find_link(NodeId(3), NodeId(0)).unwrap();
+        let failed = LinkSet::from_links(g.link_count(), [l01, l30]);
+        let walk = walk_packet(&g, &agent, NodeId(2), NodeId(0), &failed, generous_ttl(&g));
+        assert_eq!(
+            walk.result,
+            WalkResult::Dropped(DropReason::Unreachable),
+            "FCP must prove unreachability, not loop"
+        );
+    }
+
+    #[test]
+    fn fcp_state_learn_is_sorted_and_dedup() {
+        let mut s = FcpState::default();
+        s.learn(LinkId(5));
+        s.learn(LinkId(1));
+        s.learn(LinkId(5));
+        s.learn(LinkId(3));
+        assert_eq!(s.carried, vec![LinkId(1), LinkId(3), LinkId(5)]);
+        assert!(s.knows(LinkId(3)));
+        assert!(!s.knows(LinkId(2)));
+    }
+
+    #[test]
+    fn link_id_bits_scale_with_topology() {
+        let small = generators::ring(4, 1); // 4 links -> 2 bits
+        let large = generators::complete(12, 1); // 66 links -> 7 bits
+        assert_eq!(FcpAgent::new(&small).link_id_bits(), 2);
+        assert_eq!(FcpAgent::new(&large).link_id_bits(), 7);
+    }
+}

@@ -1,0 +1,118 @@
+//! Full routing-protocol reconvergence — the paper's second baseline.
+//!
+//! After a failure, a link-state IGP floods the change and every
+//! router recomputes its tables; once converged, packets follow the
+//! shortest paths of the survivor topology. Stretch-wise this is the
+//! *post-hoc optimum* (no scheme can deliver over a shorter live
+//! path), which is why reconvergence anchors the left edge of the
+//! paper's Figure 2 — its cost is paid in time and loss during
+//! convergence (§1's quarter-million-packets-per-second OC-192
+//! example), not in path length. The timed loss behaviour is
+//! exercised by `pr-sim`; this agent models the converged state for
+//! stretch comparisons.
+
+use pr_core::{DropReason, ForwardDecision, ForwardingAgent};
+use pr_graph::{AllPairs, Dart, Graph, LinkSet, NodeId};
+
+/// Forwarding agent for the *converged* post-failure network.
+///
+/// Construct it **per failure scenario** ([`ReconvergenceAgent::converged_on`]):
+/// that mirrors reality, where the converged tables are a function of
+/// the failure set. The tables are precomputed once; decisions are
+/// O(1) lookups.
+#[derive(Debug, Clone)]
+pub struct ReconvergenceAgent {
+    tables: AllPairs,
+    failures: LinkSet,
+}
+
+impl ReconvergenceAgent {
+    /// Computes the converged routing state of `graph` under `failed`.
+    pub fn converged_on(graph: &Graph, failed: &LinkSet) -> ReconvergenceAgent {
+        ReconvergenceAgent { tables: AllPairs::compute(graph, failed), failures: failed.clone() }
+    }
+
+    /// The survivor-topology cost from `src` to `dest`, if connected —
+    /// the denominator-side optimum used in coverage accounting.
+    pub fn converged_cost(&self, src: NodeId, dest: NodeId) -> Option<u64> {
+        self.tables.cost(src, dest)
+    }
+}
+
+impl ForwardingAgent for ReconvergenceAgent {
+    type State = ();
+
+    fn label(&self) -> &'static str {
+        "reconvergence"
+    }
+
+    fn decide(
+        &self,
+        at: NodeId,
+        _ingress: Option<Dart>,
+        dest: NodeId,
+        _state: &mut (),
+        failed: &LinkSet,
+    ) -> ForwardDecision {
+        debug_assert_eq!(
+            failed, &self.failures,
+            "reconvergence agent used with a different failure set than it converged on"
+        );
+        match self.tables.towards(dest).next_dart(at) {
+            Some(out) => ForwardDecision::Forward(out),
+            None => ForwardDecision::Drop(DropReason::Unreachable),
+        }
+    }
+
+    fn header_bits(&self, _state: &()) -> usize {
+        0 // reconvergence costs time and flooding, not header space
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pr_core::{generous_ttl, walk_packet, WalkResult};
+    use pr_graph::generators;
+
+    #[test]
+    fn converged_paths_are_survivor_optimal() {
+        let g = generators::ring(6, 1);
+        let direct = g.find_link(NodeId(1), NodeId(0)).unwrap();
+        let failed = LinkSet::from_links(g.link_count(), [direct]);
+        let agent = ReconvergenceAgent::converged_on(&g, &failed);
+        let walk = walk_packet(&g, &agent, NodeId(1), NodeId(0), &failed, generous_ttl(&g));
+        assert!(walk.result.is_delivered());
+        assert_eq!(walk.path.hop_count(), 5);
+        assert_eq!(walk.cost(&g), agent.converged_cost(NodeId(1), NodeId(0)).unwrap());
+        assert_eq!(walk.peak_header_bits, 0, "no header overhead by definition");
+    }
+
+    #[test]
+    fn unreachable_is_dropped() {
+        let g = generators::ring(4, 1);
+        let l01 = g.find_link(NodeId(0), NodeId(1)).unwrap();
+        let l30 = g.find_link(NodeId(3), NodeId(0)).unwrap();
+        let failed = LinkSet::from_links(g.link_count(), [l01, l30]);
+        let agent = ReconvergenceAgent::converged_on(&g, &failed);
+        let walk = walk_packet(&g, &agent, NodeId(2), NodeId(0), &failed, generous_ttl(&g));
+        assert_eq!(walk.result, WalkResult::Dropped(DropReason::Unreachable));
+    }
+
+    #[test]
+    fn no_failures_means_original_shortest_paths() {
+        let g = generators::complete(5, 2);
+        let none = LinkSet::empty(g.link_count());
+        let agent = ReconvergenceAgent::converged_on(&g, &none);
+        for src in g.nodes() {
+            for dst in g.nodes() {
+                if src == dst {
+                    continue;
+                }
+                let walk = walk_packet(&g, &agent, src, dst, &none, generous_ttl(&g));
+                assert!(walk.result.is_delivered());
+                assert_eq!(walk.path.hop_count(), 1);
+            }
+        }
+    }
+}

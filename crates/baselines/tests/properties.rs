@@ -1,0 +1,188 @@
+//! Property-based tests for the baseline schemes.
+//!
+//! FCP's delivery guarantee — unlike PR's — is embedding-free and
+//! needs no planarity: it must deliver whenever source and destination
+//! are connected, on *any* graph, under *any* failure combination,
+//! because it recomputes on the carried failure set. These tests hold
+//! it (and the other baselines) to their contracts.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use pr_baselines::{FcpAgent, LfaAgent, NotViaAgent, ReconvergenceAgent};
+use pr_core::{generous_ttl, walk_packet, DropReason, ForwardingAgent, WalkResult};
+use pr_graph::{algo, generators, Graph, LinkId, LinkSet, SpTree};
+
+fn arb_graph_and_failures() -> impl Strategy<Value = (Graph, LinkSet)> {
+    (3usize..16, 0usize..10, 0u64..u64::MAX, 0usize..6).prop_map(
+        |(n, chords, seed, failures)| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = generators::random_two_edge_connected(n, chords, 1..=6, &mut rng);
+            let mut failed = LinkSet::empty(g.link_count());
+            let mut candidates: Vec<LinkId> = g.links().collect();
+            candidates.shuffle(&mut rng);
+            for l in candidates {
+                if failed.len() >= failures {
+                    break;
+                }
+                if algo::connected_after(&g, &failed, l) {
+                    failed.insert(l);
+                }
+            }
+            (g, failed)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// FCP delivers every connected pair under every failure set —
+    /// no embedding, no planarity, no exceptions.
+    #[test]
+    fn fcp_delivers_whenever_connected((g, failed) in arb_graph_and_failures()) {
+        let fcp = FcpAgent::new(&g);
+        let ttl = generous_ttl(&g);
+        for dst in g.nodes() {
+            let live = SpTree::towards(&g, dst, &failed);
+            for src in g.nodes() {
+                if src == dst || !live.reaches(src) {
+                    continue;
+                }
+                let w = walk_packet(&g, &fcp, src, dst, &failed, ttl);
+                prop_assert!(w.result.is_delivered(), "{src}->{dst}: {:?}", w.result);
+                // Its path cost is at least the survivor optimum...
+                prop_assert!(w.cost(&g) >= live.cost(src).unwrap());
+                // ...and it never crosses a failed link.
+                prop_assert!(w.path.darts().iter().all(|d| !failed.contains_dart(*d)));
+            }
+        }
+    }
+
+    /// FCP's header bound: never more than the length field plus one
+    /// link id per *distinct failed link in the scenario*.
+    #[test]
+    fn fcp_header_is_bounded_by_scenario_failures((g, failed) in arb_graph_and_failures()) {
+        let fcp = FcpAgent::new(&g);
+        let ttl = generous_ttl(&g);
+        let bound = FcpAgent::LENGTH_FIELD_BITS + failed.len() * fcp.link_id_bits();
+        for src in g.nodes() {
+            for dst in g.nodes() {
+                if src == dst {
+                    continue;
+                }
+                let w = walk_packet(&g, &fcp, src, dst, &failed, ttl);
+                prop_assert!(
+                    w.peak_header_bits <= bound,
+                    "header {} > bound {bound}",
+                    w.peak_header_bits
+                );
+            }
+        }
+    }
+
+    /// FCP proves disconnection (drops with `Unreachable`, never loops),
+    /// exercised by cutting one node off entirely.
+    #[test]
+    fn fcp_proves_unreachability(seed in 0u64..u64::MAX, n in 4usize..12) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::random_two_edge_connected(n, 3, 1..=4, &mut rng);
+        let victim = pr_graph::NodeId(rng.gen_range(0..n as u32));
+        let mut failed = LinkSet::empty(g.link_count());
+        for &d in g.darts_from(victim) {
+            failed.insert(d.link());
+        }
+        let fcp = FcpAgent::new(&g);
+        for src in g.nodes() {
+            if src == victim {
+                continue;
+            }
+            let w = walk_packet(&g, &fcp, src, victim, &failed, generous_ttl(&g));
+            prop_assert_eq!(
+                w.result.clone(),
+                WalkResult::Dropped(DropReason::Unreachable),
+                "{}->{}: {:?}",
+                src,
+                victim,
+                w.result
+            );
+        }
+    }
+
+    /// Reconvergence walks are exactly the survivor shortest paths.
+    #[test]
+    fn reconvergence_is_survivor_optimal((g, failed) in arb_graph_and_failures()) {
+        let agent = ReconvergenceAgent::converged_on(&g, &failed);
+        let ttl = generous_ttl(&g);
+        for dst in g.nodes() {
+            let live = SpTree::towards(&g, dst, &failed);
+            for src in g.nodes() {
+                if src == dst {
+                    continue;
+                }
+                let w = walk_packet(&g, &agent, src, dst, &failed, ttl);
+                match (live.reaches(src), &w.result) {
+                    (true, WalkResult::Delivered) => {
+                        prop_assert_eq!(w.cost(&g), live.cost(src).unwrap());
+                    }
+                    (false, WalkResult::Dropped(DropReason::Unreachable)) => {}
+                    other => prop_assert!(false, "{src}->{dst}: unexpected {other:?}"),
+                }
+            }
+        }
+    }
+
+    /// LFA and Not-via never loop (they may drop, never cycle): their
+    /// repairs are one-shot and tunnel-scoped respectively.
+    #[test]
+    fn single_shot_schemes_never_loop((g, failed) in arb_graph_and_failures()) {
+        let lfa = LfaAgent::compute(&g);
+        let notvia = NotViaAgent::compute(&g);
+        let ttl = generous_ttl(&g);
+        for src in g.nodes() {
+            for dst in g.nodes() {
+                if src == dst {
+                    continue;
+                }
+                for result in [
+                    walk_packet(&g, &lfa, src, dst, &failed, ttl).result,
+                    walk_packet(&g, &notvia, src, dst, &failed, ttl).result,
+                ] {
+                    prop_assert!(
+                        !matches!(
+                            result,
+                            WalkResult::Dropped(DropReason::TtlExpired)
+                        ),
+                        "{src}->{dst}: TTL-level loop"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Not-via covers every single failure on 2-edge-connected graphs
+    /// (like PR basic, at 160 bits instead of 1).
+    #[test]
+    fn notvia_covers_single_failures(seed in 0u64..u64::MAX, n in 3usize..14, chords in 0usize..8) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::random_two_edge_connected(n, chords, 1..=5, &mut rng);
+        let agent = NotViaAgent::compute(&g);
+        prop_assert_eq!(agent.protection_coverage(&g), 1.0);
+        let ttl = generous_ttl(&g);
+        for l in g.links() {
+            let failed = LinkSet::from_links(g.link_count(), [l]);
+            for src in g.nodes() {
+                for dst in g.nodes() {
+                    if src == dst {
+                        continue;
+                    }
+                    let w = walk_packet(&g, &agent, src, dst, &failed, ttl);
+                    prop_assert!(w.result.is_delivered(), "{src}->{dst} with {l} down");
+                    prop_assert!(w.peak_header_bits <= pr_baselines::ENCAP_BITS);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! E9: end-to-end per-packet cost under failure, scheme vs scheme —
+//! one full source-to-destination walk including every per-hop
+//! decision. This is where FCP's per-router recomputation shows up
+//! against PR's constant-time lookups, the §6 computational argument.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pr_baselines::{FcpAgent, ReconvergenceAgent};
+use pr_core::{generous_ttl, walk_packet, DiscriminatorKind, PrMode, PrNetwork};
+use pr_embedding::CellularEmbedding;
+use pr_graph::{LinkSet, NodeId};
+use pr_topologies::{Isp, Weighting};
+
+fn bench_walks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end_walk_under_failure");
+    for isp in Isp::ALL {
+        let graph = pr_topologies::load(isp, Weighting::Distance);
+        let rot = pr_embedding::heuristics::best_effort(&graph, 1);
+        let emb = CellularEmbedding::new(&graph, rot).unwrap();
+        let net =
+            PrNetwork::compile(&graph, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
+        let pr = net.agent(&graph);
+        let fcp = FcpAgent::new(&graph);
+
+        // Fail the first hop of the longest shortest path: worst-case
+        // detour for all schemes.
+        let (src, dst) = farthest_pair(&graph);
+        let failed_link = net.routing().next_dart(src, dst).unwrap().link();
+        let failed = LinkSet::from_links(graph.link_count(), [failed_link]);
+        let reconv = ReconvergenceAgent::converged_on(&graph, &failed);
+        let ttl = generous_ttl(&graph);
+
+        group.bench_with_input(BenchmarkId::new("pr_dd", isp), &graph, |b, g| {
+            b.iter(|| black_box(walk_packet(g, &pr, src, dst, &failed, ttl)))
+        });
+        group.bench_with_input(BenchmarkId::new("fcp", isp), &graph, |b, g| {
+            b.iter(|| black_box(walk_packet(g, &fcp, src, dst, &failed, ttl)))
+        });
+        group.bench_with_input(BenchmarkId::new("reconvergence_lookup", isp), &graph, |b, g| {
+            b.iter(|| black_box(walk_packet(g, &reconv, src, dst, &failed, ttl)))
+        });
+        // The cost reconvergence actually pays: rebuilding all tables.
+        group.bench_with_input(BenchmarkId::new("reconvergence_recompute", isp), &graph, |b, g| {
+            b.iter(|| black_box(ReconvergenceAgent::converged_on(g, &failed)))
+        });
+    }
+    group.finish();
+}
+
+fn farthest_pair(graph: &pr_graph::Graph) -> (NodeId, NodeId) {
+    let ap = pr_graph::AllPairs::compute_all_live(graph);
+    let mut best = (NodeId(0), NodeId(0), 0u64);
+    for s in graph.nodes() {
+        for d in graph.nodes() {
+            if let Some(c) = ap.cost(s, d) {
+                if c > best.2 {
+                    best = (s, d, c);
+                }
+            }
+        }
+    }
+    (best.0, best.1)
+}
+
+criterion_group!(benches, bench_walks);
+criterion_main!(benches);

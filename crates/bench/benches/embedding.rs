@@ -1,0 +1,47 @@
+//! E9: cost of the offline embedding search itself (face tracing, one
+//! local move, annealing).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pr_embedding::{heuristics, FaceStructure, RotationSystem};
+use pr_topologies::{Isp, Weighting};
+
+fn bench_embedding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("embedding");
+    for isp in Isp::ALL {
+        let graph = pr_topologies::load(isp, Weighting::Distance);
+        let rot = RotationSystem::geometric(&graph).unwrap();
+
+        group.bench_with_input(BenchmarkId::new("face_tracing", isp), &graph, |b, g| {
+            b.iter(|| black_box(FaceStructure::trace(g, &rot)))
+        });
+
+        let dart = first_movable_dart(&graph);
+        group.bench_with_input(BenchmarkId::new("single_move", isp), &graph, |b, g| {
+            b.iter(|| black_box(rot.with_dart_moved(g, dart, 1)))
+        });
+
+        group.bench_with_input(BenchmarkId::new("anneal_2000", isp), &graph, |b, g| {
+            b.iter(|| {
+                black_box(heuristics::anneal(
+                    g,
+                    rot.clone(),
+                    heuristics::AnnealParams { iterations: 2000, t_start: 2.0, t_end: 0.05 },
+                    7,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn first_movable_dart(graph: &pr_graph::Graph) -> pr_graph::Dart {
+    graph
+        .nodes()
+        .find(|&n| graph.degree(n) >= 3)
+        .map(|n| graph.darts_from(n)[0])
+        .expect("ISP topologies have a node of degree >= 3")
+}
+
+criterion_group!(benches, bench_embedding);
+criterion_main!(benches);

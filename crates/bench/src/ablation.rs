@@ -1,0 +1,304 @@
+//! Ablations: the design choices DESIGN.md calls out.
+//!
+//! * **E6** — embedding heuristic vs genus/faces and stretch;
+//! * **E7** — hop-count vs weighted-cost distance discriminator;
+//! * **E11** — delivery rate as a function of embedding genus (the
+//!   reproduction finding: §5's guarantee is a genus-0 statement).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+use pr_core::{
+    generous_ttl, walk_packet, DiscriminatorKind, PrMode, PrNetwork, WalkResult,
+};
+use pr_embedding::{genus, CellularEmbedding, FaceStructure, RotationSystem};
+use pr_graph::{Graph, SpTree};
+
+/// E6: one embedding heuristic's quality and its stretch consequences.
+#[derive(Debug, Clone, Serialize)]
+pub struct EmbeddingAblationRow {
+    /// Heuristic label.
+    pub heuristic: String,
+    /// Genus achieved.
+    pub genus: u32,
+    /// Number of faces.
+    pub faces: usize,
+    /// Largest face size (worst-case single-episode detour bound).
+    pub max_face: usize,
+    /// Mean PR stretch over all single-failure affected pairs.
+    pub mean_stretch: f64,
+    /// Max PR stretch over the same set.
+    pub max_stretch: f64,
+    /// Delivered fraction (can dip below 1 at genus > 0).
+    pub delivery: f64,
+}
+
+/// Runs E6 on one topology: identity vs geometric vs hill-climb vs
+/// thorough.
+pub fn embedding_ablation(graph: &Graph, seed: u64) -> Vec<EmbeddingAblationRow> {
+    let geometric = RotationSystem::geometric(graph).ok();
+    let mut candidates: Vec<(String, RotationSystem)> = vec![
+        ("identity".into(), RotationSystem::identity(graph)),
+    ];
+    if let Some(geo) = geometric {
+        candidates.push(("geometric".into(), geo.clone()));
+        candidates.push(("geometric+hillclimb".into(), pr_embedding::heuristics::hill_climb(graph, geo)));
+    }
+    candidates.push((
+        "thorough".into(),
+        pr_embedding::heuristics::thorough(graph, seed, 6, 40_000),
+    ));
+
+    candidates
+        .into_iter()
+        .map(|(name, rot)| {
+            let faces = FaceStructure::trace(graph, &rot);
+            let g = genus(graph, &faces).expect("connected topology");
+            let emb = CellularEmbedding::new(graph, rot).expect("validated rotation");
+            let (mean, max, delivery) = single_failure_stretch(graph, &emb);
+            EmbeddingAblationRow {
+                heuristic: name,
+                genus: g,
+                faces: faces.face_count(),
+                max_face: faces.max_face_size(),
+                mean_stretch: mean,
+                max_stretch: max,
+                delivery,
+            }
+        })
+        .collect()
+}
+
+/// Mean/max PR-DD stretch and delivery ratio over all single-failure
+/// affected pairs.
+fn single_failure_stretch(graph: &Graph, embedding: &CellularEmbedding) -> (f64, f64, f64) {
+    let net = PrNetwork::compile(
+        graph,
+        embedding.clone(),
+        PrMode::DistanceDiscriminator,
+        DiscriminatorKind::Hops,
+    );
+    let agent = net.agent(graph);
+    let ttl = generous_ttl(graph);
+    let mut stretches = Vec::new();
+    let mut evaluated = 0u64;
+    let mut delivered = 0u64;
+    for failed in crate::scenario::all_single_failures(graph) {
+        for dst in graph.nodes() {
+            let base_tree = SpTree::towards_all_live(graph, dst);
+            let live_tree = SpTree::towards(graph, dst, &failed);
+            for src in graph.nodes() {
+                if src == dst {
+                    continue;
+                }
+                let base_path = base_tree.path_darts(graph, src).expect("connected");
+                if !base_path.iter().any(|d| failed.contains_dart(*d)) {
+                    continue;
+                }
+                if !live_tree.reaches(src) {
+                    continue;
+                }
+                evaluated += 1;
+                let w = walk_packet(graph, &agent, src, dst, &failed, ttl);
+                if let WalkResult::Delivered = w.result {
+                    delivered += 1;
+                    stretches
+                        .push(w.cost(graph) as f64 / base_tree.cost(src).unwrap() as f64);
+                }
+            }
+        }
+    }
+    let mean = if stretches.is_empty() {
+        f64::NAN
+    } else {
+        stretches.iter().sum::<f64>() / stretches.len() as f64
+    };
+    let max = stretches.iter().copied().fold(f64::NAN, f64::max);
+    let delivery = if evaluated == 0 { 1.0 } else { delivered as f64 / evaluated as f64 };
+    (mean, max, delivery)
+}
+
+/// E7: discriminator function comparison on one topology.
+#[derive(Debug, Clone, Serialize)]
+pub struct DiscriminatorAblationRow {
+    /// Discriminator label.
+    pub discriminator: String,
+    /// Header bits required.
+    pub header_bits: u8,
+    /// Delivery ratio over sampled multi-failure scenarios.
+    pub delivery: f64,
+    /// Mean stretch over delivered affected pairs.
+    pub mean_stretch: f64,
+}
+
+/// Runs E7: both discriminator kinds over sampled multi-failure
+/// scenarios.
+pub fn discriminator_ablation(
+    graph: &Graph,
+    embedding: &CellularEmbedding,
+    failures: usize,
+    samples: usize,
+    seed: u64,
+) -> Vec<DiscriminatorAblationRow> {
+    [DiscriminatorKind::Hops, DiscriminatorKind::WeightedCost]
+        .into_iter()
+        .map(|kind| {
+            let net = PrNetwork::compile(
+                graph,
+                embedding.clone(),
+                PrMode::DistanceDiscriminator,
+                kind,
+            );
+            let agent = net.agent(graph);
+            let ttl = generous_ttl(graph);
+            let mut evaluated = 0u64;
+            let mut delivered = 0u64;
+            let mut stretches = Vec::new();
+            for failed in crate::scenario::sampled_multi_failures(graph, failures, samples, seed) {
+                for dst in graph.nodes() {
+                    let base_tree = SpTree::towards_all_live(graph, dst);
+                    let live_tree = SpTree::towards(graph, dst, &failed);
+                    for src in graph.nodes() {
+                        if src == dst {
+                            continue;
+                        }
+                        let base_path = base_tree.path_darts(graph, src).expect("connected");
+                        if !base_path.iter().any(|d| failed.contains_dart(*d)) {
+                            continue;
+                        }
+                        if !live_tree.reaches(src) {
+                            continue;
+                        }
+                        evaluated += 1;
+                        let w = walk_packet(graph, &agent, src, dst, &failed, ttl);
+                        if let WalkResult::Delivered = w.result {
+                            delivered += 1;
+                            stretches.push(
+                                w.cost(graph) as f64 / base_tree.cost(src).unwrap() as f64,
+                            );
+                        }
+                    }
+                }
+            }
+            DiscriminatorAblationRow {
+                discriminator: kind.to_string(),
+                header_bits: net.codec().total_bits(),
+                delivery: if evaluated == 0 { 1.0 } else { delivered as f64 / evaluated as f64 },
+                mean_stretch: if stretches.is_empty() {
+                    f64::NAN
+                } else {
+                    stretches.iter().sum::<f64>() / stretches.len() as f64
+                },
+            }
+        })
+        .collect()
+}
+
+/// E11: delivery rate binned by embedding genus.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct GenusDeliveryRow {
+    /// Embedding genus of this bin.
+    pub genus: u32,
+    /// Rotation systems sampled in this bin.
+    pub embeddings: u64,
+    /// (scenario, pair) combinations evaluated.
+    pub evaluated: u64,
+    /// Delivered count.
+    pub delivered: u64,
+}
+
+/// Runs E11 on one graph: samples random rotation systems, bins by
+/// genus, and measures PR-DD delivery over sampled non-disconnecting
+/// failure sets.
+pub fn genus_delivery(
+    graph: &Graph,
+    rotations: usize,
+    failures: usize,
+    scenarios_per_rotation: usize,
+    seed: u64,
+) -> Vec<GenusDeliveryRow> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut bins: std::collections::BTreeMap<u32, GenusDeliveryRow> = Default::default();
+    let ttl = generous_ttl(graph);
+    for i in 0..rotations {
+        let rot = RotationSystem::random(graph, &mut rng);
+        let emb = CellularEmbedding::new(graph, rot).expect("connected topology");
+        let g = emb.genus();
+        let net = PrNetwork::compile(
+            graph,
+            emb,
+            PrMode::DistanceDiscriminator,
+            DiscriminatorKind::Hops,
+        );
+        let agent = net.agent(graph);
+        let row = bins.entry(g).or_insert_with(|| GenusDeliveryRow { genus: g, ..Default::default() });
+        row.embeddings += 1;
+        for s in 0..scenarios_per_rotation {
+            let failed = crate::scenario::random_connected_failures(
+                graph,
+                failures,
+                seed ^ (i as u64) << 20 ^ s as u64,
+            );
+            for dst in graph.nodes() {
+                let live_tree = SpTree::towards(graph, dst, &failed);
+                for src in graph.nodes() {
+                    if src == dst || !live_tree.reaches(src) {
+                        continue;
+                    }
+                    row.evaluated += 1;
+                    if walk_packet(graph, &agent, src, dst, &failed, ttl).result.is_delivered() {
+                        row.delivered += 1;
+                    }
+                }
+            }
+        }
+    }
+    bins.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pr_graph::generators;
+
+    #[test]
+    fn embedding_ablation_orders_heuristics() {
+        let g = pr_topologies::load(pr_topologies::Isp::Abilene, pr_topologies::Weighting::Distance);
+        let rows = embedding_ablation(&g, 7);
+        assert!(rows.len() >= 3);
+        let thorough = rows.iter().find(|r| r.heuristic == "thorough").unwrap();
+        assert_eq!(thorough.genus, 0, "thorough must find Abilene's planar embedding");
+        assert_eq!(thorough.delivery, 1.0);
+        // More faces never hurt mean stretch ordering *on average*; at
+        // minimum the thorough embedding is no worse than identity.
+        let identity = rows.iter().find(|r| r.heuristic == "identity").unwrap();
+        assert!(thorough.faces >= identity.faces);
+    }
+
+    #[test]
+    fn discriminator_ablation_shows_bit_cost_difference() {
+        let g = pr_topologies::load(pr_topologies::Isp::Abilene, pr_topologies::Weighting::Distance);
+        let rot = pr_embedding::heuristics::thorough(&g, 1, 4, 10_000);
+        let emb = CellularEmbedding::new(&g, rot).unwrap();
+        let rows = discriminator_ablation(&g, &emb, 2, 5, 11);
+        assert_eq!(rows.len(), 2);
+        let hops = &rows[0];
+        let cost = &rows[1];
+        assert!(hops.header_bits < cost.header_bits, "hops DD needs fewer bits");
+        assert_eq!(hops.delivery, 1.0);
+        assert_eq!(cost.delivery, 1.0);
+    }
+
+    #[test]
+    fn genus_delivery_shows_the_finding_on_k5() {
+        let g = generators::complete(5, 1);
+        let rows = genus_delivery(&g, 30, 3, 3, 99);
+        assert!(!rows.is_empty());
+        // K5 has no genus-0 rotation system.
+        assert!(rows.iter().all(|r| r.genus >= 1));
+        // And some bin shows imperfect delivery (the finding).
+        let any_loss = rows.iter().any(|r| r.delivered < r.evaluated);
+        assert!(any_loss, "expected some livelock at positive genus: {rows:?}");
+    }
+}

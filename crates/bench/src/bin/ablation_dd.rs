@@ -1,0 +1,28 @@
+//! Experiment **E7**: hop-count vs weighted-cost distance
+//! discriminator (§4.3 allows either). Both deliver identically on
+//! genus-0 embeddings; the difference is header bits.
+
+use pr_bench::{ablation, paper_topology, write_result, EXPERIMENT_SEED};
+use pr_topologies::Isp;
+
+fn main() {
+    println!("=== E7: distance-discriminator function ablation ===\n");
+    let mut all = Vec::new();
+    for isp in Isp::ALL {
+        let (graph, embedding) = paper_topology(isp);
+        let k = isp.paper_multi_failure_count();
+        let rows = ablation::discriminator_ablation(&graph, &embedding, k, 50, EXPERIMENT_SEED);
+        println!("{isp} (k={k} failures, 50 scenarios):");
+        println!("  discriminator   header-bits  delivery  mean-stretch");
+        for r in &rows {
+            println!(
+                "  {:<15} {:>11}  {:>8.4}  {:>12.3}",
+                r.discriminator, r.header_bits, r.delivery, r.mean_stretch
+            );
+        }
+        all.push((isp.name(), rows));
+        println!();
+    }
+    let json = serde_json::to_string_pretty(&all).expect("serializable");
+    write_result("ablation_dd.json", &json);
+}

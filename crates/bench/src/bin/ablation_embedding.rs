@@ -1,0 +1,27 @@
+//! Experiment **E6**: embedding heuristic vs genus, face structure and
+//! stretch (the trade-off §7 of the paper gestures at: worse
+//! embeddings still work — on the sphere — but cost stretch).
+
+use pr_bench::{ablation, write_result, EXPERIMENT_SEED};
+use pr_topologies::{Isp, Weighting};
+
+fn main() {
+    println!("=== E6: embedding heuristic ablation (single-failure PR-DD stretch) ===\n");
+    let mut all = Vec::new();
+    for isp in Isp::ALL {
+        let graph = pr_topologies::load(isp, Weighting::Distance);
+        println!("{isp}:");
+        println!("  heuristic             genus  faces  max-face  mean-stretch  max-stretch  delivery");
+        let rows = ablation::embedding_ablation(&graph, EXPERIMENT_SEED);
+        for r in &rows {
+            println!(
+                "  {:<21} {:>5}  {:>5}  {:>8}  {:>12.3}  {:>11.3}  {:>8.4}",
+                r.heuristic, r.genus, r.faces, r.max_face, r.mean_stretch, r.max_stretch, r.delivery
+            );
+        }
+        all.push((isp.name(), rows));
+        println!();
+    }
+    let json = serde_json::to_string_pretty(&all).expect("serializable");
+    write_result("ablation_embedding.json", &json);
+}

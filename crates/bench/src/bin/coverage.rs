@@ -1,0 +1,28 @@
+//! Experiment **E5**: repair coverage per scheme and failure count on
+//! each paper topology — quantifying §4.2 ("full repair coverage for
+//! any single link failure"), §4.3 ("any number of link failures ...
+//! as long as the network remains connected"), and LFA's partial
+//! protection for contrast.
+
+use pr_bench::{coverage, paper_topology, write_result, EXPERIMENT_SEED};
+use pr_topologies::Isp;
+
+fn main() {
+    println!("=== E5: delivery coverage, P(delivered | affected pair still connected) ===\n");
+    for isp in Isp::ALL {
+        let (graph, embedding) = paper_topology(isp);
+        let max_failures = isp.paper_multi_failure_count();
+        let rows = coverage::run(&graph, &embedding, max_failures, 50, EXPERIMENT_SEED);
+        println!(
+            "{isp} ({} nodes / {} links, genus {}):",
+            graph.node_count(),
+            graph.link_count(),
+            embedding.genus()
+        );
+        print!("{}", coverage::render(&rows));
+        println!();
+        let json = serde_json::to_string_pretty(&rows).expect("serializable rows");
+        write_result(&format!("coverage_{isp}.json"), &json);
+        println!();
+    }
+}

@@ -1,0 +1,92 @@
+//! Replays the **Figure 1(b)** and **Figure 1(c)** walkthroughs of
+//! §4.2/§4.3 and prints the packet's route hop by hop, with the PR/DD
+//! header state at each step.
+
+use pr_core::{
+    generous_ttl, DiscriminatorKind, ForwardDecision, ForwardingAgent, PrHeader, PrMode,
+    PrNetwork,
+};
+use pr_embedding::{CellularEmbedding, RotationSystem};
+use pr_graph::{Graph, LinkSet, NodeId};
+
+fn main() {
+    let (graph, orders) = pr_topologies::figure1();
+    let rot = RotationSystem::from_neighbor_orders(&graph, &orders).expect("figure-1 orders");
+    let emb = CellularEmbedding::new(&graph, rot).expect("connected");
+    let net = PrNetwork::compile(&graph, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
+
+    let n = |s: &str| graph.node_by_name(s).unwrap();
+    let de = graph.find_link(n("D"), n("E")).unwrap();
+    let ab = graph.find_link(n("A"), n("B")).unwrap();
+    let bc = graph.find_link(n("B"), n("C")).unwrap();
+
+    println!("=== Figure 1(b): single failure D-E, packet A -> F ===");
+    trace(&graph, &net, n("A"), n("F"), LinkSet::from_links(graph.link_count(), [de]));
+
+    println!("\n=== §4.2 second example: failures A-B and D-E, packet A -> F ===");
+    trace(&graph, &net, n("A"), n("F"), LinkSet::from_links(graph.link_count(), [de, ab]));
+
+    println!("\n=== Figure 1(c): failures D-E and B-C, packet A -> F (DD mode) ===");
+    trace(&graph, &net, n("A"), n("F"), LinkSet::from_links(graph.link_count(), [de, bc]));
+
+    println!("\n=== Figure 1(c) under basic mode: the forwarding loop §4.3 fixes ===");
+    let basic = PrNetwork::compile(
+        &graph,
+        CellularEmbedding::new(&graph, RotationSystem::from_neighbor_orders(&graph, &orders).unwrap())
+            .unwrap(),
+        PrMode::Basic,
+        DiscriminatorKind::Hops,
+    );
+    trace(&graph, &basic, n("A"), n("F"), LinkSet::from_links(graph.link_count(), [de, bc]));
+}
+
+/// Steps a single packet manually so the header state can be printed
+/// at every hop.
+fn trace(graph: &Graph, net: &PrNetwork, src: NodeId, dst: NodeId, failed: LinkSet) {
+    let agent = net.agent(graph);
+    let ttl = generous_ttl(graph);
+    let mut state = PrHeader::default();
+    let mut at = src;
+    let mut ingress = None;
+    let mut hops = 0usize;
+    let mut seen = std::collections::HashSet::new();
+    println!(
+        "  failed links: {}",
+        failed
+            .iter()
+            .map(|l| {
+                let (a, b) = graph.endpoints(l);
+                format!("{}-{}", graph.node_name(a), graph.node_name(b))
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    loop {
+        if at == dst {
+            println!("  DELIVERED at {} after {hops} hops", graph.node_name(at));
+            return;
+        }
+        if hops >= ttl || !seen.insert((at, ingress, state)) {
+            println!("  FORWARDING LOOP detected at {} (header {:?})", graph.node_name(at), state);
+            return;
+        }
+        match agent.decide(at, ingress, dst, &mut state, &failed) {
+            ForwardDecision::Forward(d) => {
+                println!(
+                    "  {} -> {}   [PR={} DD={}]",
+                    graph.node_name(at),
+                    graph.node_name(graph.dart_head(d)),
+                    u8::from(state.pr),
+                    state.dd
+                );
+                at = graph.dart_head(d);
+                ingress = Some(d);
+                hops += 1;
+            }
+            ForwardDecision::Drop(reason) => {
+                println!("  DROPPED at {}: {}", graph.node_name(at), reason);
+                return;
+            }
+        }
+    }
+}

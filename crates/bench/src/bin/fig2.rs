@@ -1,0 +1,95 @@
+//! Regenerates **Figure 2** of the paper: stretch CCDFs
+//! `P(stretch > x | path)` for Reconvergence, FCP and Packet
+//! Re-cycling on Abilene, Teleglobe and GÉANT — panels (a)–(c) with
+//! exhaustive single failures, panels (d)–(f) with the paper's
+//! multi-failure counts (Abilene×4, Teleglobe×10, GÉANT×16), sampled
+//! over non-disconnecting failure sets.
+//!
+//! The headline run uses hop-count link costs, which reproduces the
+//! paper's 1–15 stretch axis; a second run uses great-circle distance
+//! weights (the geographically realistic variant — same ordering,
+//! heavier tails because short optimal paths can incur continental
+//! detours).
+//!
+//! Output: `results/fig2_<topology>_<single|multi>[_distance].csv`
+//! plus a summary table on stdout.
+
+use pr_bench::{paper_topology_with, scenario, stretch, write_result, EXPERIMENT_SEED};
+use pr_core::{DiscriminatorKind, PrMode, PrNetwork};
+use pr_topologies::{Isp, Weighting};
+
+/// Sampled multi-failure scenarios per panel (the paper does not state
+/// its count; 200 gives smooth CCDFs at this topology size).
+const MULTI_SAMPLES: usize = 200;
+
+fn main() {
+    println!("=== Figure 2: stretch CCDF, P(stretch > x | path) ===");
+    let xs = stretch::figure2_xs();
+
+    for (weighting, suffix) in [(Weighting::Hop, ""), (Weighting::Distance, "_distance")] {
+        println!(
+            "\n--- link costs: {} ---\n",
+            match weighting {
+                Weighting::Hop => "hops (paper's 1-15 axis)",
+                Weighting::Distance => "great-circle distance (geographic variant)",
+            }
+        );
+        for isp in Isp::ALL {
+            let (graph, embedding) = paper_topology_with(isp, weighting);
+            println!(
+                "{}: {} nodes, {} links, embedding genus {}",
+                isp,
+                graph.node_count(),
+                graph.link_count(),
+                embedding.genus()
+            );
+            let pr = PrNetwork::compile(
+                &graph,
+                embedding,
+                PrMode::DistanceDiscriminator,
+                DiscriminatorKind::Hops,
+            );
+
+            // Panels (a)-(c): exhaustive single failures.
+            let single = scenario::all_single_failures(&graph);
+            let s_single = stretch::run(&graph, &pr, &single);
+            write_result(
+                &format!("fig2_{isp}_single{suffix}.csv"),
+                &stretch::panel_csv(&s_single, &xs),
+            );
+            print_panel("single", &s_single);
+
+            // Panels (d)-(f): k concurrent failures, sampled.
+            let k = isp.paper_multi_failure_count();
+            let multi =
+                scenario::sampled_multi_failures(&graph, k, MULTI_SAMPLES, EXPERIMENT_SEED);
+            let s_multi = stretch::run(&graph, &pr, &multi);
+            write_result(
+                &format!("fig2_{isp}_multi{suffix}.csv"),
+                &stretch::panel_csv(&s_multi, &xs),
+            );
+            print_panel(&format!("multi(k={k})"), &s_multi);
+            println!();
+        }
+    }
+    println!("Done. CSV columns: stretch, P(>x) per scheme, legend order as in the paper.");
+}
+
+fn print_panel(kind: &str, samples: &stretch::StretchSamples) {
+    let summary = stretch::summarize(samples);
+    println!(
+        "  [{kind}] pairs evaluated: {}, disconnected (excluded): {}, undelivered: {}",
+        samples.evaluated_pairs, samples.disconnected_pairs, samples.undelivered
+    );
+    println!("    scheme            median   p95      max      P(stretch>1)");
+    for (i, scheme) in stretch::Scheme::ALL.iter().enumerate() {
+        println!(
+            "    {:<17} {:>7.3}  {:>7.3}  {:>7.3}  {:>7.3}",
+            scheme.label(),
+            summary.median[i],
+            summary.p95[i],
+            summary.max[i],
+            summary.p_above_one[i],
+        );
+    }
+}

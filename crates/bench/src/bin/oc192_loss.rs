@@ -1,0 +1,54 @@
+//! Experiment **E10**: the paper's §1 motivating arithmetic. "If a
+//! heavily loaded OC-192 link is down for a second, more than a
+//! quarter of a million packets could be lost, given an average packet
+//! size of 1 kB." — versus what PR loses in the same outage.
+
+use pr_sim::scenarios::{run_oc192, Oc192Scenario};
+use pr_sim::SimTime;
+
+fn main() {
+    println!("=== E10: 1 s OC-192 outage, 1 kB packets (paper §1) ===\n");
+    for load in [0.25, 0.5, 1.0] {
+        let scenario = Oc192Scenario {
+            load,
+            igp_convergence: SimTime::from_secs(1),
+            ..Oc192Scenario::default()
+        };
+        println!(
+            "offered load {:.0}% of OC-192 ({:.2} Mpps):",
+            load * 100.0,
+            load * 9_953_280_000.0 / (1024.0 * 8.0) / 1e6
+        );
+        let mut rows = String::from("scheme,load,injected,delivered,lost,delivery_ratio\n");
+        for result in run_oc192(&scenario, pr_bench::EXPERIMENT_SEED) {
+            let m = &result.metrics;
+            println!(
+                "  {:<14} injected {:>9}  delivered {:>9}  lost {:>8}  ({:.4} delivered)",
+                result.scheme,
+                m.injected,
+                m.delivered,
+                m.total_dropped(),
+                m.delivery_ratio()
+            );
+            for (reason, count) in &m.drops {
+                println!("      {count:>9} x {reason}");
+            }
+            rows.push_str(&format!(
+                "{},{},{},{},{},{:.6}\n",
+                result.scheme,
+                load,
+                m.injected,
+                m.delivered,
+                m.total_dropped(),
+                m.delivery_ratio()
+            ));
+        }
+        pr_bench::write_result(&format!("oc192_load{}.csv", (load * 100.0) as u32), &rows);
+        println!();
+    }
+    println!(
+        "Paper check: at ≥25% load the reconverging IGP loses >250k packets in the 1 s\n\
+         blackhole — \"more than a quarter of a million\" — while PR loses only the\n\
+         ~1 ms detection window."
+    );
+}

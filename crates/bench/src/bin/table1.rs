@@ -1,0 +1,47 @@
+//! Regenerates **Table 1** of the paper: the cycle following table at
+//! node D of the Figure 1(a) example network, in the paper's
+//! `I_XY (c)` notation — plus, as a bonus, the tables of every other
+//! node and the full cycle system.
+
+use pr_core::{CycleFollowingTable, DiscriminatorKind, PrMode, PrNetwork};
+use pr_embedding::{CellularEmbedding, RotationSystem};
+
+fn main() {
+    let (graph, orders) = pr_topologies::figure1();
+    let rot = RotationSystem::from_neighbor_orders(&graph, &orders)
+        .expect("figure-1 orders are valid");
+    let emb = CellularEmbedding::new(&graph, rot).expect("figure-1 graph is connected");
+
+    println!("=== The cellular cycle system of Figure 1(a) ===");
+    println!("genus {}, {} faces:", emb.genus(), emb.faces().face_count());
+    for (f, _) in emb.faces().iter() {
+        println!("  {}", emb.faces().display_face(&graph, f));
+    }
+
+    let table = CycleFollowingTable::compile(&graph, &emb);
+    println!("\n=== Table 1 (paper): cycle following table at node D ===\n");
+    let d = graph.node_by_name("D").expect("node D exists");
+    print!("{}", table.display_at(&graph, &emb, d));
+
+    println!("\n=== All other nodes (not shown in the paper) ===\n");
+    for node in graph.nodes() {
+        if node == d {
+            continue;
+        }
+        print!("{}\n", table.display_at(&graph, &emb, node));
+    }
+
+    // Also show the §4.3 routing-table DD column for destination F.
+    let net = PrNetwork::compile(&graph, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
+    let f = graph.node_by_name("F").expect("node F exists");
+    println!("=== Distance discriminator column towards F (hops) ===");
+    for node in graph.nodes() {
+        println!("  dd({}) = {}", graph.node_name(node), net.dd(node, f));
+    }
+    println!(
+        "\nheader: PR bit + {} DD bits = {} bits (fits DSCP pool 2: {})",
+        net.codec().dd_bits(),
+        net.codec().total_bits(),
+        net.codec().fits_in_dscp_pool2()
+    );
+}

@@ -1,0 +1,93 @@
+//! # pr-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the Packet Re-cycling paper
+//! (and the ablations this reproduction adds). The mapping from paper
+//! artefact to binary lives in `DESIGN.md` §4; in short:
+//!
+//! | artefact | binary |
+//! |---|---|
+//! | Table 1 | `table1` |
+//! | Figure 1(b)/(c) walkthroughs | `fig1` |
+//! | Figure 2(a)–(f) stretch CCDFs | `fig2` |
+//! | §4.2/§4.3 coverage claims (E5) | `coverage` |
+//! | §6 header/memory overheads (E8) | `overheads` |
+//! | §1 OC-192 loss arithmetic (E10) | `oc192_loss` |
+//! | embedding-heuristic ablation (E6) | `ablation_embedding` |
+//! | discriminator ablation (E7) | `ablation_dd` |
+//! | genus-vs-delivery finding (E11) | `ablation_genus` |
+//!
+//! Criterion micro-benchmarks (experiment E9: forwarding decision
+//! latency, table compilation, embedding search, FCP recompute cost)
+//! live under `benches/`.
+//!
+//! All binaries print a human-readable summary to stdout and write
+//! machine-readable CSV/JSON under `results/` (created on demand).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ablation;
+pub mod coverage;
+pub mod overheads;
+pub mod scenario;
+pub mod stretch;
+
+use std::path::{Path, PathBuf};
+
+use pr_embedding::CellularEmbedding;
+use pr_graph::Graph;
+use pr_topologies::{Isp, Weighting};
+
+/// Seed used by every experiment binary, so published numbers are
+/// reproducible byte for byte.
+pub const EXPERIMENT_SEED: u64 = 2010; // HotNets year
+
+/// Loads a paper topology with distance weights and its certified
+/// genus-0 embedding (the production pipeline).
+pub fn paper_topology(isp: Isp) -> (Graph, CellularEmbedding) {
+    paper_topology_with(isp, Weighting::Distance)
+}
+
+/// [`paper_topology`] with an explicit weighting. The stretch figures
+/// are run under both: hop weights reproduce the paper's 1–15 stretch
+/// axis; distance weights show the geographically-weighted variant.
+pub fn paper_topology_with(isp: Isp, weighting: Weighting) -> (Graph, CellularEmbedding) {
+    let graph = pr_topologies::load(isp, weighting);
+    let rot = pr_embedding::heuristics::thorough(&graph, EXPERIMENT_SEED, 8, 60_000);
+    let emb = CellularEmbedding::new(&graph, rot).expect("ISP topologies are connected");
+    (graph, emb)
+}
+
+/// Resolves (and creates) the `results/` output directory next to the
+/// workspace root.
+pub fn results_dir() -> PathBuf {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&dir).expect("create results directory");
+    dir
+}
+
+/// Writes a result artefact and echoes its path.
+pub fn write_result(name: &str, contents: &str) -> PathBuf {
+    let path = results_dir().join(name);
+    std::fs::write(&path, contents).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("  wrote {}", path.display());
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_topologies_get_planar_embeddings() {
+        let (g, emb) = paper_topology(Isp::Abilene);
+        assert_eq!(g.node_count(), 11);
+        assert_eq!(emb.genus(), 0);
+    }
+
+    #[test]
+    fn results_dir_is_creatable() {
+        let dir = results_dir();
+        assert!(dir.is_dir());
+    }
+}

@@ -1,0 +1,86 @@
+//! Failure-scenario construction shared by all experiments.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use pr_graph::{algo, Graph, LinkId, LinkSet};
+
+/// Every single-link failure scenario of `graph` (exhaustive — this is
+/// what Figure 2(a–c) sweeps).
+pub fn all_single_failures(graph: &Graph) -> Vec<LinkSet> {
+    graph
+        .links()
+        .map(|l| LinkSet::from_links(graph.link_count(), [l]))
+        .collect()
+}
+
+/// Samples a random non-disconnecting failure set of exactly `k` links
+/// (or as many as can be removed while staying connected), by
+/// shuffling the links and greedily failing those that keep the graph
+/// connected. Deterministic in `seed`.
+pub fn random_connected_failures(graph: &Graph, k: usize, seed: u64) -> LinkSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut failed = LinkSet::empty(graph.link_count());
+    let mut candidates: Vec<LinkId> = graph.links().collect();
+    candidates.shuffle(&mut rng);
+    for l in candidates {
+        if failed.len() >= k {
+            break;
+        }
+        if algo::connected_after(graph, &failed, l) {
+            failed.insert(l);
+        }
+    }
+    failed
+}
+
+/// `count` sampled multi-failure scenarios (Figure 2(d–f) style).
+pub fn sampled_multi_failures(graph: &Graph, k: usize, count: usize, base_seed: u64) -> Vec<LinkSet> {
+    (0..count)
+        .map(|i| random_connected_failures(graph, k, base_seed.wrapping_add(i as u64)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pr_graph::generators;
+
+    #[test]
+    fn single_failures_cover_every_link() {
+        let g = generators::ring(5, 1);
+        let all = all_single_failures(&g);
+        assert_eq!(all.len(), 5);
+        for (i, f) in all.iter().enumerate() {
+            assert_eq!(f.len(), 1);
+            assert!(f.contains(LinkId(i as u32)));
+        }
+    }
+
+    #[test]
+    fn sampled_failures_preserve_connectivity() {
+        let g = generators::complete(8, 1);
+        for f in sampled_multi_failures(&g, 10, 20, 99) {
+            assert_eq!(f.len(), 10);
+            assert!(algo::is_connected(&g, &f));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let g = generators::complete(7, 1);
+        assert_eq!(
+            random_connected_failures(&g, 5, 3),
+            random_connected_failures(&g, 5, 3)
+        );
+    }
+
+    #[test]
+    fn greedy_respects_bridges() {
+        // On a ring, at most one link can fail without disconnection.
+        let g = generators::ring(6, 1);
+        let f = random_connected_failures(&g, 4, 1);
+        assert_eq!(f.len(), 1, "a ring tolerates exactly one failure");
+    }
+}

@@ -1,0 +1,292 @@
+//! The stretch experiment — the paper's Figure 2.
+//!
+//! For each failure scenario and each (src, dst) pair whose
+//! failure-free shortest path is *affected* (crosses a failed link)
+//! and which remains connected, record the **stretch**: the ratio of
+//! the cost of the path the scheme actually delivers over to the
+//! failure-free shortest-path cost (§6). Per panel and scheme, the
+//! paper plots the complementary CDF `P(stretch > x | path)`.
+
+use serde::Serialize;
+
+use pr_baselines::{FcpAgent, ReconvergenceAgent};
+use pr_core::{generous_ttl, walk_packet, PrNetwork, WalkResult};
+use pr_graph::{AllPairs, Graph, LinkSet, SpTree};
+
+/// Scheme identifiers used in experiment output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Scheme {
+    /// Post-convergence shortest paths (survivor optimum).
+    Reconvergence,
+    /// Failure-Carrying Packets.
+    Fcp,
+    /// Packet Re-cycling (distance-discriminator mode).
+    PacketRecycling,
+}
+
+impl Scheme {
+    /// All schemes, in the paper's legend order.
+    pub const ALL: [Scheme; 3] = [Scheme::Reconvergence, Scheme::Fcp, Scheme::PacketRecycling];
+
+    /// Label used in CSV headers (matches the paper's legend).
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::Reconvergence => "reconvergence",
+            Scheme::Fcp => "fcp",
+            Scheme::PacketRecycling => "packet-recycling",
+        }
+    }
+}
+
+/// Raw stretch samples per scheme, plus bookkeeping on conditioning.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct StretchSamples {
+    /// Delivered-path stretch values, one per (scenario, affected pair).
+    pub reconvergence: Vec<f64>,
+    /// FCP stretch values.
+    pub fcp: Vec<f64>,
+    /// PR stretch values.
+    pub packet_recycling: Vec<f64>,
+    /// (scenario, pair) combinations whose endpoints were disconnected
+    /// by the scenario (excluded by the paper's "| path" conditioning).
+    pub disconnected_pairs: usize,
+    /// Affected-and-connected pairs evaluated.
+    pub evaluated_pairs: usize,
+    /// Deliveries that failed although a path existed (should be zero
+    /// for all three schemes on genus-0 embeddings; reported honestly).
+    pub undelivered: usize,
+}
+
+impl StretchSamples {
+    /// The sample vector for one scheme.
+    pub fn of(&self, scheme: Scheme) -> &[f64] {
+        match scheme {
+            Scheme::Reconvergence => &self.reconvergence,
+            Scheme::Fcp => &self.fcp,
+            Scheme::PacketRecycling => &self.packet_recycling,
+        }
+    }
+}
+
+/// Runs the stretch experiment for one topology over the given failure
+/// scenarios, using a precompiled PR network (its embedding is the
+/// expensive part — compile once, reuse across panels).
+pub fn run(graph: &Graph, pr: &PrNetwork, scenarios: &[LinkSet]) -> StretchSamples {
+    let base = AllPairs::compute_all_live(graph);
+    let fcp = FcpAgent::new(graph);
+    let pr_agent = pr.agent(graph);
+    let ttl = generous_ttl(graph);
+    let mut out = StretchSamples::default();
+
+    for failed in scenarios {
+        let reconv = ReconvergenceAgent::converged_on(graph, failed);
+        for dst in graph.nodes() {
+            let base_tree = base.towards(dst);
+            let live_tree = SpTree::towards(graph, dst, failed);
+            for src in graph.nodes() {
+                if src == dst {
+                    continue;
+                }
+                // Affected = the canonical failure-free path crosses a
+                // failed link.
+                let base_path = base_tree.path_darts(graph, src).expect("connected base graph");
+                if !base_path.iter().any(|d| failed.contains_dart(*d)) {
+                    continue;
+                }
+                if !live_tree.reaches(src) {
+                    out.disconnected_pairs += 1;
+                    continue;
+                }
+                out.evaluated_pairs += 1;
+                let optimal = base_tree.cost(src).expect("connected");
+
+                // Reconvergence: the survivor shortest path, by
+                // definition — no need to walk it.
+                let reconv_cost = live_tree.cost(src).expect("connected");
+                out.reconvergence.push(reconv_cost as f64 / optimal as f64);
+                debug_assert_eq!(reconv.converged_cost(src, dst), Some(reconv_cost));
+
+                // FCP: walk with incremental failure discovery.
+                match walk_packet(graph, &fcp, src, dst, failed, ttl) {
+                    w if w.result.is_delivered() => {
+                        out.fcp.push(w.cost(graph) as f64 / optimal as f64)
+                    }
+                    _ => out.undelivered += 1,
+                }
+
+                // PR: cycle following.
+                let w = walk_packet(graph, &pr_agent, src, dst, failed, ttl);
+                match w.result {
+                    WalkResult::Delivered => {
+                        out.packet_recycling.push(w.cost(graph) as f64 / optimal as f64)
+                    }
+                    WalkResult::Dropped(_) => out.undelivered += 1,
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Evaluates `P(sample > x)` at each of `xs` — the paper's CCDF.
+pub fn ccdf(samples: &[f64], xs: &[f64]) -> Vec<(f64, f64)> {
+    if samples.is_empty() {
+        return xs.iter().map(|&x| (x, 0.0)).collect();
+    }
+    let n = samples.len() as f64;
+    xs.iter()
+        .map(|&x| {
+            let above = samples.iter().filter(|&&s| s > x).count() as f64;
+            (x, above / n)
+        })
+        .collect()
+}
+
+/// The x-axis of the paper's Figure 2: stretch 1 to 15.
+pub fn figure2_xs() -> Vec<f64> {
+    (0..=28).map(|i| 1.0 + i as f64 * 0.5).collect()
+}
+
+/// Renders one panel as CSV: `x, reconvergence, fcp, packet-recycling`.
+pub fn panel_csv(samples: &StretchSamples, xs: &[f64]) -> String {
+    let r = ccdf(&samples.reconvergence, xs);
+    let f = ccdf(&samples.fcp, xs);
+    let p = ccdf(&samples.packet_recycling, xs);
+    let mut out = String::from("stretch,reconvergence,fcp,packet-recycling\n");
+    for i in 0..xs.len() {
+        out.push_str(&format!("{},{:.6},{:.6},{:.6}\n", r[i].0, r[i].1, f[i].1, p[i].1));
+    }
+    out
+}
+
+/// Summary statistics for the EXPERIMENTS.md table.
+#[derive(Debug, Clone, Serialize)]
+pub struct PanelSummary {
+    /// Median stretch per scheme.
+    pub median: [f64; 3],
+    /// 95th-percentile stretch per scheme.
+    pub p95: [f64; 3],
+    /// Maximum stretch per scheme.
+    pub max: [f64; 3],
+    /// Probability that stretch exceeds 1 (i.e. the scheme pays any
+    /// detour at all), per scheme.
+    pub p_above_one: [f64; 3],
+}
+
+/// Computes the summary for one panel (schemes in [`Scheme::ALL`]
+/// order).
+pub fn summarize(samples: &StretchSamples) -> PanelSummary {
+    fn quantile(sorted: &[f64], q: f64) -> f64 {
+        if sorted.is_empty() {
+            return f64::NAN;
+        }
+        let pos = q * (sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+    let mut median = [0.0; 3];
+    let mut p95 = [0.0; 3];
+    let mut max = [0.0; 3];
+    let mut p_above_one = [0.0; 3];
+    for (i, scheme) in Scheme::ALL.iter().enumerate() {
+        let mut v = samples.of(*scheme).to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("stretch values are finite"));
+        median[i] = quantile(&v, 0.5);
+        p95[i] = quantile(&v, 0.95);
+        max[i] = v.last().copied().unwrap_or(f64::NAN);
+        p_above_one[i] = if v.is_empty() {
+            f64::NAN
+        } else {
+            v.iter().filter(|&&s| s > 1.0 + 1e-12).count() as f64 / v.len() as f64
+        };
+    }
+    PanelSummary { median, p95, max, p_above_one }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario;
+    use pr_core::{DiscriminatorKind, PrMode};
+    use pr_embedding::CellularEmbedding;
+
+    fn compile_pr(graph: &Graph) -> PrNetwork {
+        let rot = pr_embedding::heuristics::thorough(graph, 2010, 4, 10_000);
+        let emb = CellularEmbedding::new(graph, rot).unwrap();
+        PrNetwork::compile(graph, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops)
+    }
+
+    #[test]
+    fn abilene_single_failures_have_expected_shape() {
+        let g = pr_topologies::load(pr_topologies::Isp::Abilene, pr_topologies::Weighting::Distance);
+        let pr = compile_pr(&g);
+        let scenarios = scenario::all_single_failures(&g);
+        let samples = run(&g, &pr, &scenarios);
+
+        assert_eq!(samples.undelivered, 0, "all three schemes must deliver");
+        assert_eq!(samples.disconnected_pairs, 0, "Abilene is 2-edge-connected");
+        assert!(samples.evaluated_pairs > 0);
+        assert_eq!(samples.reconvergence.len(), samples.packet_recycling.len());
+
+        // Shape: reconvergence ≤ FCP ≤ PR in the mean.
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let (mr, mf, mp) = (
+            mean(&samples.reconvergence),
+            mean(&samples.fcp),
+            mean(&samples.packet_recycling),
+        );
+        assert!(mr <= mf + 1e-12, "reconvergence {mr} > fcp {mf}");
+        assert!(mf <= mp + 1e-12, "fcp {mf} > pr {mp}");
+        assert!(mr >= 1.0);
+    }
+
+    #[test]
+    fn ccdf_is_monotone_decreasing_from_at_most_one() {
+        let samples = vec![1.0, 1.5, 2.0, 2.0, 7.5];
+        let xs = figure2_xs();
+        let curve = ccdf(&samples, &xs);
+        assert_eq!(curve.len(), xs.len());
+        assert!(curve[0].1 <= 1.0);
+        for w in curve.windows(2) {
+            assert!(w[1].1 <= w[0].1);
+        }
+        // P(stretch > 15) = 0 in this sample set.
+        assert_eq!(curve.last().unwrap().1, 0.0);
+    }
+
+    #[test]
+    fn ccdf_of_empty_is_zero() {
+        let xs = [1.0, 2.0];
+        assert_eq!(ccdf(&[], &xs), vec![(1.0, 0.0), (2.0, 0.0)]);
+    }
+
+    #[test]
+    fn panel_csv_has_header_and_rows() {
+        let mut s = StretchSamples::default();
+        s.reconvergence = vec![1.0, 1.2];
+        s.fcp = vec![1.1, 1.4];
+        s.packet_recycling = vec![1.3, 2.0];
+        let xs = [1.0, 1.5];
+        let csv = panel_csv(&s, &xs);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "stretch,reconvergence,fcp,packet-recycling");
+        assert!(lines[1].starts_with("1,"));
+    }
+
+    #[test]
+    fn summary_quantiles() {
+        let mut s = StretchSamples::default();
+        s.reconvergence = vec![1.0; 100];
+        s.fcp = (0..100).map(|i| 1.0 + i as f64 / 100.0).collect();
+        s.packet_recycling = vec![3.0; 100];
+        let sum = summarize(&s);
+        assert_eq!(sum.median[0], 1.0);
+        assert!((sum.median[1] - 1.495).abs() < 0.01);
+        assert_eq!(sum.max[2], 3.0);
+        assert_eq!(sum.p_above_one[0], 0.0);
+        assert_eq!(sum.p_above_one[2], 1.0);
+    }
+}

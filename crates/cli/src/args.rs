@@ -1,0 +1,138 @@
+//! Minimal argument parsing (no external dependencies): positional
+//! arguments plus `--flag value` options, with typed accessors.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: positionals in order, options by name.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    options: BTreeMap<String, Vec<String>>,
+}
+
+/// Errors from argument parsing or typed access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// An option was given without a value (`--seed` at end of line).
+    MissingValue(String),
+    /// A required positional was absent.
+    MissingPositional(&'static str),
+    /// A value failed to parse.
+    BadValue {
+        /// Option or positional name.
+        name: String,
+        /// The offending text.
+        value: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::MissingValue(opt) => write!(f, "option --{opt} needs a value"),
+            ArgError::MissingPositional(name) => write!(f, "missing required argument <{name}>"),
+            ArgError::BadValue { name, value, expected } => {
+                write!(f, "bad value {value:?} for {name}: expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses raw arguments (excluding the program and subcommand
+    /// names).
+    pub fn parse(raw: impl IntoIterator<Item = String>) -> Result<Args, ArgError> {
+        let mut out = Args::default();
+        let mut iter = raw.into_iter();
+        while let Some(tok) = iter.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                let value = iter.next().ok_or_else(|| ArgError::MissingValue(name.to_string()))?;
+                out.options.entry(name.to_string()).or_default().push(value);
+            } else {
+                out.positional.push(tok);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The `i`-th positional argument, required.
+    pub fn positional(&self, i: usize, name: &'static str) -> Result<&str, ArgError> {
+        self.positional.get(i).map(String::as_str).ok_or(ArgError::MissingPositional(name))
+    }
+
+    /// The `i`-th positional argument, optional.
+    pub fn positional_opt(&self, i: usize) -> Option<&str> {
+        self.positional.get(i).map(String::as_str)
+    }
+
+    /// Last occurrence of `--name`, if present.
+    pub fn option(&self, name: &str) -> Option<&str> {
+        self.options.get(name).and_then(|v| v.last()).map(String::as_str)
+    }
+
+    /// Every occurrence of `--name` (for repeatable options like
+    /// `--fail`).
+    pub fn options(&self, name: &str) -> &[String] {
+        self.options.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Typed option with a default.
+    pub fn option_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+        match self.option(name) {
+            None => Ok(default),
+            Some(text) => text.parse().map_err(|_| ArgError::BadValue {
+                name: format!("--{name}"),
+                value: text.to_string(),
+                expected: std::any::type_name::<T>(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Result<Args, ArgError> {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn positionals_and_options() {
+        let a = args("abilene A F --seed 42 --fail A-B --fail C-D").unwrap();
+        assert_eq!(a.positional(0, "topology").unwrap(), "abilene");
+        assert_eq!(a.positional(2, "dst").unwrap(), "F");
+        assert_eq!(a.option("seed"), Some("42"));
+        assert_eq!(a.options("fail"), &["A-B".to_string(), "C-D".to_string()]);
+        assert_eq!(a.option_or("seed", 0u64).unwrap(), 42);
+        assert_eq!(a.option_or("iterations", 7usize).unwrap(), 7);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert_eq!(args("x --seed").unwrap_err(), ArgError::MissingValue("seed".into()));
+    }
+
+    #[test]
+    fn missing_positional_is_an_error() {
+        let a = args("").unwrap();
+        assert_eq!(a.positional(0, "topology"), Err(ArgError::MissingPositional("topology")));
+        assert_eq!(a.positional_opt(0), None);
+    }
+
+    #[test]
+    fn bad_typed_value() {
+        let a = args("--seed banana").unwrap();
+        assert!(matches!(a.option_or("seed", 0u64), Err(ArgError::BadValue { .. })));
+    }
+
+    #[test]
+    fn last_option_wins() {
+        let a = args("--mode basic --mode dd").unwrap();
+        assert_eq!(a.option("mode"), Some("dd"));
+    }
+}

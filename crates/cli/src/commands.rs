@@ -1,0 +1,318 @@
+//! The `pr` subcommands.
+
+use pr_baselines::{FcpAgent, ReconvergenceAgent};
+use pr_core::{
+    generous_ttl, trace_packet, walk_packet, DiscriminatorKind, PrMode, PrNetwork, TraceOutcome,
+};
+use pr_embedding::{heuristics, CellularEmbedding, RotationSystem};
+use pr_graph::{algo, Graph, LinkId, LinkSet, NodeId, SpTree};
+
+use crate::args::Args;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+pr — Packet Re-cycling toolbox (HotNets-IX 2010 reproduction)
+
+USAGE:
+    pr info    <topology>
+    pr embed   <topology> [--seed N] [--restarts N] [--iterations N]
+    pr tables  <topology> <node> [--seed N]
+    pr walk    <topology> <src> <dst> [--fail A-B]... [--mode basic|dd] [--seed N]
+    pr stretch <topology> [--failures K] [--samples N] [--seed N]
+
+TOPOLOGY:
+    abilene | teleglobe | geant | figure1 | path/to/file.topo";
+
+type CmdResult = Result<(), Box<dyn std::error::Error>>;
+
+/// Loads a topology by name or `.topo` file path. `figure1` comes with
+/// its canonical rotation; other topologies get `None`.
+fn load_topology(spec: &str) -> Result<(Graph, Option<RotationSystem>), Box<dyn std::error::Error>> {
+    match spec {
+        "abilene" => Ok((pr_topologies::load(pr_topologies::Isp::Abilene, pr_topologies::Weighting::Distance), None)),
+        "teleglobe" => Ok((pr_topologies::load(pr_topologies::Isp::Teleglobe, pr_topologies::Weighting::Distance), None)),
+        "geant" => Ok((pr_topologies::load(pr_topologies::Isp::Geant, pr_topologies::Weighting::Distance), None)),
+        "figure1" => {
+            let (g, orders) = pr_topologies::figure1();
+            let rot = RotationSystem::from_neighbor_orders(&g, &orders)?;
+            Ok((g, Some(rot)))
+        }
+        path => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read topology file {path:?}: {e}"))?;
+            Ok((pr_graph::parser::parse(&text)?, None))
+        }
+    }
+}
+
+/// Resolves an embedding: the canonical one when the topology ships
+/// one, otherwise the thorough search.
+fn resolve_embedding(
+    graph: &Graph,
+    canonical: Option<RotationSystem>,
+    args: &Args,
+) -> Result<CellularEmbedding, Box<dyn std::error::Error>> {
+    let rot = match canonical {
+        Some(rot) => rot,
+        None => {
+            let seed = args.option_or("seed", 2010u64)?;
+            let restarts = args.option_or("restarts", 8u64)?;
+            let iterations = args.option_or("iterations", 60_000usize)?;
+            heuristics::thorough(graph, seed, restarts, iterations)
+        }
+    };
+    Ok(CellularEmbedding::new(graph, rot)?)
+}
+
+fn node_by_name(graph: &Graph, name: &str) -> Result<NodeId, String> {
+    graph.node_by_name(name).ok_or_else(|| {
+        let known: Vec<&str> = graph.nodes().map(|n| graph.node_name(n)).collect();
+        format!("unknown node {name:?}; nodes: {}", known.join(", "))
+    })
+}
+
+/// Parses repeatable `--fail A-B` options into a LinkSet.
+fn parse_failures(graph: &Graph, args: &Args) -> Result<LinkSet, String> {
+    let mut failed = LinkSet::empty(graph.link_count());
+    for spec in args.options("fail") {
+        let (a, b) = spec
+            .split_once('-')
+            .ok_or_else(|| format!("--fail wants A-B, got {spec:?}"))?;
+        let (na, nb) = (node_by_name(graph, a)?, node_by_name(graph, b)?);
+        let link = graph
+            .find_link(na, nb)
+            .ok_or_else(|| format!("no link between {a} and {b}"))?;
+        failed.insert(link);
+    }
+    Ok(failed)
+}
+
+/// `pr info <topology>`.
+pub fn info(args: &Args) -> CmdResult {
+    let (graph, _) = load_topology(args.positional(0, "topology")?)?;
+    let none = LinkSet::empty(graph.link_count());
+    println!("nodes:              {}", graph.node_count());
+    println!("links:              {}", graph.link_count());
+    println!("connected:          {}", algo::is_connected(&graph, &none));
+    println!("2-edge-connected:   {}", algo::is_two_edge_connected(&graph, &none));
+    println!("biconnected:        {}", algo::is_biconnected(&graph, &none));
+    println!("hop diameter:       {}", algo::hop_diameter(&graph));
+    let cuts = algo::cut_analysis(&graph, &none);
+    println!("bridges:            {}", cuts.bridges.len());
+    println!("articulation pts:   {}", cuts.articulation_points.len());
+    let degrees: Vec<usize> = graph.nodes().map(|n| graph.degree(n)).collect();
+    println!(
+        "degree min/avg/max: {}/{:.2}/{}",
+        degrees.iter().min().unwrap_or(&0),
+        degrees.iter().sum::<usize>() as f64 / degrees.len().max(1) as f64,
+        degrees.iter().max().unwrap_or(&0)
+    );
+    Ok(())
+}
+
+/// `pr embed <topology>`.
+pub fn embed(args: &Args) -> CmdResult {
+    let (graph, canonical) = load_topology(args.positional(0, "topology")?)?;
+    let emb = resolve_embedding(&graph, canonical, args)?;
+    println!("genus:     {}", emb.genus());
+    println!("faces:     {}", emb.faces().face_count());
+    println!("max face:  {} darts", emb.faces().max_face_size());
+    println!(
+        "planar:    {}",
+        if emb.genus() == 0 { "yes (delivery guarantee applies)" } else { "no (see DESIGN.md findings)" }
+    );
+    println!("\ncycle system:");
+    for (f, boundary) in emb.faces().iter() {
+        if boundary.len() <= 16 {
+            println!("  {}", emb.faces().display_face(&graph, f));
+        } else {
+            println!("  {f}: ({} darts)", boundary.len());
+        }
+    }
+    Ok(())
+}
+
+/// `pr tables <topology> <node>`.
+pub fn tables(args: &Args) -> CmdResult {
+    let (graph, canonical) = load_topology(args.positional(0, "topology")?)?;
+    let node = node_by_name(&graph, args.positional(1, "node")?)?;
+    let emb = resolve_embedding(&graph, canonical, args)?;
+    let net = PrNetwork::compile(&graph, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
+    print!("{}", net.cycle_table().display_at(&graph, net.embedding(), node));
+    println!(
+        "\nrouting table extract (destination, next hop, DD[hops]):"
+    );
+    for dest in graph.nodes() {
+        if dest == node {
+            continue;
+        }
+        let next = net
+            .routing()
+            .next_dart(node, dest)
+            .map(|d| graph.node_name(graph.dart_head(d)).to_string())
+            .unwrap_or_else(|| "-".into());
+        println!("  {:<14} via {:<14} dd={}", graph.node_name(dest), next, net.dd(node, dest));
+    }
+    println!(
+        "\nheader: {} bits total (PR + {} DD bits), DSCP pool 2: {}",
+        net.codec().total_bits(),
+        net.codec().dd_bits(),
+        if net.codec().fits_in_dscp_pool2() { "fits" } else { "does not fit" }
+    );
+    Ok(())
+}
+
+/// `pr walk <topology> <src> <dst> [--fail A-B]... [--mode basic|dd]`.
+pub fn walk(args: &Args) -> CmdResult {
+    let (graph, canonical) = load_topology(args.positional(0, "topology")?)?;
+    let src = node_by_name(&graph, args.positional(1, "src")?)?;
+    let dst = node_by_name(&graph, args.positional(2, "dst")?)?;
+    let failed = parse_failures(&graph, args)?;
+    let mode = match args.option("mode").unwrap_or("dd") {
+        "basic" => PrMode::Basic,
+        "dd" => PrMode::DistanceDiscriminator,
+        other => return Err(format!("--mode wants basic|dd, got {other:?}").into()),
+    };
+    let emb = resolve_embedding(&graph, canonical, args)?;
+    let net = PrNetwork::compile(&graph, emb, mode, DiscriminatorKind::Hops);
+    let trace = trace_packet(&graph, &net, src, dst, &failed, generous_ttl(&graph));
+    print!("{}", trace.render(&graph));
+    if trace.outcome == TraceOutcome::Delivered {
+        let optimal = SpTree::towards_all_live(&graph, dst).cost(src).unwrap_or(0);
+        let taken: u64 = trace.darts().iter().map(|d| u64::from(graph.weight(d.link()))).sum();
+        if optimal > 0 {
+            println!("stretch: {:.3} ({} vs optimal {})", taken as f64 / optimal as f64, taken, optimal);
+        }
+    }
+    Ok(())
+}
+
+/// `pr stretch <topology> [--failures K] [--samples N]`.
+pub fn stretch(args: &Args) -> CmdResult {
+    let (graph, canonical) = load_topology(args.positional(0, "topology")?)?;
+    let failures: usize = args.option_or("failures", 1)?;
+    let samples: usize = args.option_or("samples", 100)?;
+    let seed: u64 = args.option_or("seed", 2010)?;
+    let emb = resolve_embedding(&graph, canonical, args)?;
+    println!("embedding genus {}", emb.genus());
+    let net = PrNetwork::compile(&graph, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
+    let pr = net.agent(&graph);
+    let fcp = FcpAgent::new(&graph);
+    let ttl = generous_ttl(&graph);
+
+    // Build scenarios: exhaustive singles, sampled multis.
+    let scenarios: Vec<LinkSet> = if failures <= 1 {
+        graph.links().map(|l| LinkSet::from_links(graph.link_count(), [l])).collect()
+    } else {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        (0..samples)
+            .map(|i| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed + i as u64);
+                let mut failed = LinkSet::empty(graph.link_count());
+                let mut candidates: Vec<LinkId> = graph.links().collect();
+                candidates.shuffle(&mut rng);
+                for l in candidates {
+                    if failed.len() >= failures {
+                        break;
+                    }
+                    if algo::connected_after(&graph, &failed, l) {
+                        failed.insert(l);
+                    }
+                }
+                failed
+            })
+            .collect()
+    };
+
+    let mut rc = Vec::new();
+    let mut fc = Vec::new();
+    let mut pc = Vec::new();
+    let mut undelivered = 0u64;
+    for failed in &scenarios {
+        let _reconv = ReconvergenceAgent::converged_on(&graph, failed);
+        for dst in graph.nodes() {
+            let base = SpTree::towards_all_live(&graph, dst);
+            let live = SpTree::towards(&graph, dst, failed);
+            for src in graph.nodes() {
+                if src == dst {
+                    continue;
+                }
+                let path = base.path_darts(&graph, src).expect("connected base");
+                if !path.iter().any(|d| failed.contains_dart(*d)) || !live.reaches(src) {
+                    continue;
+                }
+                let optimal = base.cost(src).unwrap() as f64;
+                rc.push(live.cost(src).unwrap() as f64 / optimal);
+                let wf = walk_packet(&graph, &fcp, src, dst, failed, ttl);
+                fc.push(wf.cost(&graph) as f64 / optimal);
+                let wp = walk_packet(&graph, &pr, src, dst, failed, ttl);
+                if wp.result.is_delivered() {
+                    pc.push(wp.cost(&graph) as f64 / optimal);
+                } else {
+                    undelivered += 1;
+                }
+            }
+        }
+    }
+    let mean = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!(
+        "affected pairs: {} ({} scenarios, {} failures each), PR undelivered: {undelivered}",
+        rc.len(),
+        scenarios.len(),
+        failures
+    );
+    println!("mean stretch:  reconvergence {:.3}  fcp {:.3}  packet-recycling {:.3}", mean(&rc), mean(&fc), mean(&pc));
+    for x in [1.0, 2.0, 3.0, 5.0, 10.0, 15.0] {
+        let p = |v: &Vec<f64>| v.iter().filter(|&&s| s > x).count() as f64 / v.len().max(1) as f64;
+        println!("P(stretch>{x:>4}): {:>12.4}  {:>8.4}  {:>8.4}", p(&rc), p(&fc), p(&pc));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn load_named_topologies() {
+        for name in ["abilene", "teleglobe", "geant", "figure1"] {
+            let (g, rot) = load_topology(name).unwrap();
+            assert!(g.node_count() > 0, "{name}");
+            assert_eq!(rot.is_some(), name == "figure1");
+        }
+        assert!(load_topology("/nonexistent/file.topo").is_err());
+    }
+
+    #[test]
+    fn parse_failures_by_name() {
+        let (g, _) = load_topology("figure1").unwrap();
+        let a = args("figure1 --fail D-E --fail B-C");
+        let failed = parse_failures(&g, &a).unwrap();
+        assert_eq!(failed.len(), 2);
+        let bad = args("figure1 --fail D_E");
+        assert!(parse_failures(&g, &bad).is_err());
+        let missing = args("figure1 --fail A-E");
+        assert!(parse_failures(&g, &missing).is_err(), "A-E is not a link of figure 1");
+    }
+
+    #[test]
+    fn commands_run_on_figure1() {
+        // Smoke-test every subcommand end to end on the small fixture.
+        info(&args("figure1")).unwrap();
+        embed(&args("figure1")).unwrap();
+        tables(&args("figure1 D")).unwrap();
+        walk(&args("figure1 A F --fail D-E --fail B-C")).unwrap();
+        stretch(&args("figure1 --failures 1")).unwrap();
+    }
+
+    #[test]
+    fn walk_rejects_bad_mode_and_nodes() {
+        assert!(walk(&args("figure1 A F --mode turbo")).is_err());
+        assert!(walk(&args("figure1 A Z")).is_err());
+    }
+}

@@ -1,0 +1,53 @@
+//! `pr` — command-line interface to the Packet Re-cycling
+//! reproduction.
+//!
+//! ```text
+//! pr info    <topology>
+//! pr embed   <topology> [--seed N] [--restarts N] [--iterations N]
+//! pr tables  <topology> <node> [--seed N]
+//! pr walk    <topology> <src> <dst> [--fail A-B]... [--mode basic|dd] [--seed N]
+//! pr stretch <topology> [--failures K] [--samples N] [--seed N]
+//! ```
+//!
+//! `<topology>` is `abilene`, `teleglobe`, `geant`, `figure1`, or a
+//! path to a `.topo` file in the `pr-graph` plain-text format.
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() {
+        eprintln!("{}", commands::USAGE);
+        std::process::exit(2);
+    }
+    let subcommand = raw.remove(0);
+    let parsed = match Args::parse(raw) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", commands::USAGE);
+            std::process::exit(2);
+        }
+    };
+    let result = match subcommand.as_str() {
+        "info" => commands::info(&parsed),
+        "embed" => commands::embed(&parsed),
+        "tables" => commands::tables(&parsed),
+        "walk" => commands::walk(&parsed),
+        "stretch" => commands::stretch(&parsed),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => {
+            eprintln!("error: unknown subcommand {other:?}\n\n{}", commands::USAGE);
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,329 @@
+//! The packet walker: executes a [`ForwardingAgent`] over a static
+//! failure scenario, one packet at a time.
+//!
+//! Stretch — the paper's evaluation metric — is purely topological: it
+//! depends on which links a packet traverses, not on queueing or
+//! timing. The walker is therefore the workhorse of the experiment
+//! harness (the timed discrete-event simulator in `pr-sim` is used for
+//! the loss experiments, where time *does* matter).
+//!
+//! Besides a hop budget (TTL), the walker performs **exact livelock
+//! detection**: agents are deterministic functions of
+//! `(router, ingress, header state)`, so revisiting an identical
+//! triple proves the packet will cycle forever. This cleanly separates
+//! "basic mode loops under multi-failure" (§4.3's motivation) from
+//! "path is just long".
+
+use std::collections::HashSet;
+
+use pr_graph::{Dart, Graph, LinkSet, NodeId, Path};
+
+use crate::{DropReason, ForwardDecision, ForwardingAgent};
+
+/// Result of walking one packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalkResult {
+    /// The packet reached its destination.
+    Delivered,
+    /// The packet was discarded.
+    Dropped(DropReason),
+}
+
+impl WalkResult {
+    /// `true` if the packet reached its destination.
+    pub fn is_delivered(&self) -> bool {
+        matches!(self, WalkResult::Delivered)
+    }
+}
+
+/// A completed walk: outcome, the exact path taken, and the peak
+/// header occupancy observed (for overhead accounting).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Walk {
+    /// Delivery or drop (with reason).
+    pub result: WalkResult,
+    /// The darts traversed, in order (up to and including the last
+    /// successful hop).
+    pub path: Path,
+    /// Largest `header_bits` value the agent reported along the walk.
+    pub peak_header_bits: usize,
+}
+
+impl Walk {
+    /// Weighted cost of the traversed path.
+    pub fn cost(&self, graph: &Graph) -> u64 {
+        self.path.cost(graph)
+    }
+
+    /// Stretch of this walk relative to `optimal` (the failure-free
+    /// shortest-path cost). `None` if the walk did not deliver or the
+    /// pair is degenerate (`optimal == 0`).
+    pub fn stretch(&self, graph: &Graph, optimal: u64) -> Option<f64> {
+        if !self.result.is_delivered() {
+            return None;
+        }
+        pr_graph::stretch(self.cost(graph), optimal)
+    }
+}
+
+/// A hop budget that no legitimate walk of the schemes in this
+/// workspace exceeds: episodes are bounded by the node count, each
+/// episode by a boundary walk over at most all darts plus a routing
+/// segment.
+pub fn generous_ttl(graph: &Graph) -> usize {
+    graph.node_count() * (2 * graph.dart_count() + graph.node_count()) + 64
+}
+
+/// Walks one packet from `src` to `dest` under the static failure set
+/// `failed`, consulting `agent` at every router.
+///
+/// The walker (not the agent) is responsible for: delivering at the
+/// destination, enforcing `ttl`, exact livelock detection, and
+/// verifying that the agent's decisions are physically possible
+/// (departing the current router over a live link). Violations surface
+/// as [`DropReason::ProtocolViolation`] rather than panics so that
+/// property tests can flag buggy agents gracefully.
+pub fn walk_packet<A: ForwardingAgent>(
+    graph: &Graph,
+    agent: &A,
+    src: NodeId,
+    dest: NodeId,
+    failed: &LinkSet,
+    ttl: usize,
+) -> Walk
+where
+    A::State: std::hash::Hash + Eq,
+{
+    let mut state = A::State::default();
+    let mut path = Path::empty();
+    let mut at = src;
+    let mut ingress: Option<Dart> = None;
+    let mut peak_header_bits = agent.header_bits(&state);
+    let mut seen: HashSet<(NodeId, Option<Dart>, A::State)> = HashSet::new();
+
+    loop {
+        if at == dest {
+            return Walk { result: WalkResult::Delivered, path, peak_header_bits };
+        }
+        if path.hop_count() >= ttl {
+            return Walk { result: WalkResult::Dropped(DropReason::TtlExpired), path, peak_header_bits };
+        }
+        if !seen.insert((at, ingress, state.clone())) {
+            return Walk {
+                result: WalkResult::Dropped(DropReason::ForwardingLoop),
+                path,
+                peak_header_bits,
+            };
+        }
+
+        match agent.decide(at, ingress, dest, &mut state, failed) {
+            ForwardDecision::Forward(d) => {
+                let physically_ok = graph.dart_tail(d) == at && !failed.contains_dart(d);
+                if !physically_ok {
+                    return Walk {
+                        result: WalkResult::Dropped(DropReason::ProtocolViolation),
+                        path,
+                        peak_header_bits,
+                    };
+                }
+                path.push(graph, d);
+                at = graph.dart_head(d);
+                ingress = Some(d);
+                peak_header_bits = peak_header_bits.max(agent.header_bits(&state));
+            }
+            ForwardDecision::Drop(reason) => {
+                // The decide call may have grown the header (e.g. FCP
+                // learning failures) before concluding it must drop.
+                peak_header_bits = peak_header_bits.max(agent.header_bits(&state));
+                return Walk { result: WalkResult::Dropped(reason), path, peak_header_bits };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DiscriminatorKind, PrMode, PrNetwork};
+    use pr_embedding::{CellularEmbedding, RotationSystem};
+    use pr_graph::generators;
+
+    fn ring_net(mode: PrMode) -> (Graph, PrNetwork) {
+        let g = generators::ring(6, 1);
+        let emb = CellularEmbedding::new(&g, RotationSystem::identity(&g)).unwrap();
+        let net = PrNetwork::compile(&g, emb, mode, DiscriminatorKind::Hops);
+        (g, net)
+    }
+
+    #[test]
+    fn delivers_on_shortest_path_without_failures() {
+        let (g, net) = ring_net(PrMode::DistanceDiscriminator);
+        let agent = net.agent(&g);
+        let none = LinkSet::empty(g.link_count());
+        let walk = walk_packet(&g, &agent, NodeId(3), NodeId(0), &none, generous_ttl(&g));
+        assert!(walk.result.is_delivered());
+        assert_eq!(walk.path.hop_count(), 3);
+        assert_eq!(walk.stretch(&g, 3), Some(1.0));
+    }
+
+    #[test]
+    fn src_equals_dest_is_trivially_delivered() {
+        let (g, net) = ring_net(PrMode::DistanceDiscriminator);
+        let agent = net.agent(&g);
+        let none = LinkSet::empty(g.link_count());
+        let walk = walk_packet(&g, &agent, NodeId(2), NodeId(2), &none, 10);
+        assert!(walk.result.is_delivered());
+        assert!(walk.path.is_empty());
+        assert_eq!(walk.stretch(&g, 0), None, "stretch undefined for src == dest");
+    }
+
+    #[test]
+    fn reroutes_around_single_failure_on_ring() {
+        let (g, net) = ring_net(PrMode::DistanceDiscriminator);
+        let agent = net.agent(&g);
+        // 1 -> 0 with link 1-0 down: must deliver the long way (5 hops).
+        let direct = g.find_link(NodeId(1), NodeId(0)).unwrap();
+        let failed = LinkSet::from_links(g.link_count(), [direct]);
+        let walk = walk_packet(&g, &agent, NodeId(1), NodeId(0), &failed, generous_ttl(&g));
+        assert!(walk.result.is_delivered(), "got {:?}", walk.result);
+        assert_eq!(walk.path.hop_count(), 5);
+        assert_eq!(walk.stretch(&g, 1), Some(5.0));
+        assert!(!walk.path.darts().iter().any(|d| d.link() == direct));
+    }
+
+    #[test]
+    fn basic_mode_handles_single_failure_too() {
+        let (g, net) = ring_net(PrMode::Basic);
+        let agent = net.agent(&g);
+        let direct = g.find_link(NodeId(2), NodeId(1)).unwrap();
+        let failed = LinkSet::from_links(g.link_count(), [direct]);
+        let walk = walk_packet(&g, &agent, NodeId(2), NodeId(0), &failed, generous_ttl(&g));
+        assert!(walk.result.is_delivered(), "got {:?}", walk.result);
+    }
+
+    #[test]
+    fn disconnecting_failures_are_dropped_not_looped() {
+        let (g, net) = ring_net(PrMode::DistanceDiscriminator);
+        let agent = net.agent(&g);
+        // Cut the ring on both sides of node 0's arc: 0 is unreachable
+        // from 3.
+        let l01 = g.find_link(NodeId(0), NodeId(1)).unwrap();
+        let l50 = g.find_link(NodeId(5), NodeId(0)).unwrap();
+        let failed = LinkSet::from_links(g.link_count(), [l01, l50]);
+        let walk = walk_packet(&g, &agent, NodeId(3), NodeId(0), &failed, generous_ttl(&g));
+        match walk.result {
+            WalkResult::Dropped(DropReason::ForwardingLoop | DropReason::Isolated) => {}
+            other => panic!("expected loop/isolated drop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ttl_cuts_off_runaway_agents() {
+        // An adversarial agent that ping-pongs forever but mutates its
+        // state each hop, defeating exact loop detection — TTL must
+        // stop it.
+        struct PingPong;
+        impl ForwardingAgent for PingPong {
+            type State = u64;
+            fn label(&self) -> &'static str {
+                "ping-pong"
+            }
+            fn decide(
+                &self,
+                at: NodeId,
+                _ingress: Option<Dart>,
+                _dest: NodeId,
+                state: &mut u64,
+                _failed: &LinkSet,
+            ) -> ForwardDecision {
+                *state += 1;
+                ForwardDecision::Forward(if at == NodeId(0) {
+                    pr_graph::LinkId(0).forward()
+                } else {
+                    pr_graph::LinkId(0).reverse()
+                })
+            }
+            fn header_bits(&self, state: &u64) -> usize {
+                *state as usize
+            }
+        }
+        let g = generators::ring(6, 1);
+        let none = LinkSet::empty(g.link_count());
+        let walk = walk_packet(&g, &PingPong, NodeId(0), NodeId(3), &none, 40);
+        assert_eq!(walk.result, WalkResult::Dropped(DropReason::TtlExpired));
+        assert_eq!(walk.path.hop_count(), 40);
+        assert_eq!(walk.peak_header_bits, 40, "peak header bits tracked per hop");
+    }
+
+    #[test]
+    fn loop_detection_catches_stateless_cycles() {
+        // An agent that always forwards "clockwise" can never deliver
+        // against the ring's orientation... it actually can: going
+        // clockwise eventually reaches any node. Use an agent that
+        // bounces between two nodes with *unchanged* state instead.
+        struct Bounce;
+        impl ForwardingAgent for Bounce {
+            type State = ();
+            fn label(&self) -> &'static str {
+                "bounce"
+            }
+            fn decide(
+                &self,
+                at: NodeId,
+                _ingress: Option<Dart>,
+                _dest: NodeId,
+                _state: &mut (),
+                _failed: &LinkSet,
+            ) -> ForwardDecision {
+                ForwardDecision::Forward(if at == NodeId(0) {
+                    pr_graph::LinkId(0).forward()
+                } else {
+                    pr_graph::LinkId(0).reverse()
+                })
+            }
+            fn header_bits(&self, _: &()) -> usize {
+                0
+            }
+        }
+        let g = generators::ring(6, 1);
+        let none = LinkSet::empty(g.link_count());
+        let walk = walk_packet(&g, &Bounce, NodeId(0), NodeId(3), &none, 1_000_000);
+        assert_eq!(walk.result, WalkResult::Dropped(DropReason::ForwardingLoop));
+        assert!(walk.path.hop_count() <= 4, "loop detected promptly");
+    }
+
+    #[test]
+    fn agent_forwarding_into_failed_link_is_flagged() {
+        struct Blind;
+        impl ForwardingAgent for Blind {
+            type State = ();
+            fn label(&self) -> &'static str {
+                "blind"
+            }
+            fn decide(
+                &self,
+                _at: NodeId,
+                _ingress: Option<Dart>,
+                _dest: NodeId,
+                _state: &mut (),
+                _failed: &LinkSet,
+            ) -> ForwardDecision {
+                ForwardDecision::Forward(pr_graph::LinkId(0).forward())
+            }
+            fn header_bits(&self, _: &()) -> usize {
+                0
+            }
+        }
+        let g = generators::ring(4, 1);
+        let failed = LinkSet::from_links(g.link_count(), [pr_graph::LinkId(0)]);
+        let walk = walk_packet(&g, &Blind, NodeId(0), NodeId(2), &failed, 10);
+        assert_eq!(walk.result, WalkResult::Dropped(DropReason::ProtocolViolation));
+    }
+
+    #[test]
+    fn generous_ttl_scales_with_topology() {
+        let small = generators::ring(4, 1);
+        let big = generators::complete(10, 1);
+        assert!(generous_ttl(&big) > generous_ttl(&small));
+    }
+}

@@ -1,0 +1,226 @@
+//! The validated bundle: graph + rotation system + faces + genus.
+
+use serde::{Deserialize, Serialize};
+
+use pr_graph::{Dart, Graph, LinkSet};
+
+use crate::{genus, EmbeddingError, FaceId, FaceStructure, RotationSystem};
+
+/// A cellular embedding of a connected graph on an orientable closed
+/// surface, ready to be compiled into cycle following tables.
+///
+/// Construction validates the rotation system and connectivity, then
+/// traces the faces once; all protocol-facing queries are O(1)
+/// afterwards. The embedding does not borrow the graph — tables and
+/// simulators carry the graph separately — but it remembers the
+/// graph's dart count and checks it on use in debug builds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellularEmbedding {
+    rotation: RotationSystem,
+    faces: FaceStructure,
+    genus: u32,
+    dart_count: usize,
+}
+
+impl CellularEmbedding {
+    /// Validates `rotation` against `graph` and traces its faces.
+    ///
+    /// # Errors
+    ///
+    /// * [`EmbeddingError::NotConnected`] — PR (and Euler's formula as
+    ///   used here) require a connected topology;
+    /// * [`EmbeddingError::Corrupt`] — `rotation` is not a valid
+    ///   rotation system for `graph`.
+    pub fn new(graph: &Graph, rotation: RotationSystem) -> Result<Self, EmbeddingError> {
+        rotation.validate(graph)?;
+        let faces = FaceStructure::trace(graph, &rotation);
+        let genus = genus(graph, &faces).ok_or(EmbeddingError::NotConnected)?;
+        Ok(CellularEmbedding { rotation, faces, genus, dart_count: graph.dart_count() })
+    }
+
+    /// The rotation system (cyclic interface order per router).
+    pub fn rotation(&self) -> &RotationSystem {
+        &self.rotation
+    }
+
+    /// The face structure (the paper's cellular cycle system).
+    pub fn faces(&self) -> &FaceStructure {
+        &self.faces
+    }
+
+    /// The orientable genus of the embedding surface (0 = sphere).
+    pub fn genus(&self) -> u32 {
+        self.genus
+    }
+
+    /// One step of cycle following (§4.1/§4.2): a packet that arrived
+    /// over `incoming` and is in cycle-following mode leaves over this
+    /// dart, continuing the boundary of `incoming`'s face.
+    #[inline]
+    pub fn cycle_continuation(&self, incoming: Dart) -> Dart {
+        debug_assert!(incoming.index() < self.dart_count);
+        self.rotation.face_next(incoming)
+    }
+
+    /// The deflection applied when the outgoing dart `failed` cannot be
+    /// used (§4.2): the first hop of `failed`'s complementary cycle —
+    /// the face traversing the failed link in the opposite direction.
+    ///
+    /// Note `deflection(d) = cycle_continuation(twin(d))`: deflecting is
+    /// exactly "pretend the packet arrived from the far side of the
+    /// failed link and cycle-follow".
+    #[inline]
+    pub fn deflection(&self, failed: Dart) -> Dart {
+        debug_assert!(failed.index() < self.dart_count);
+        self.rotation.next_around(failed)
+    }
+
+    /// The *main cycle* of a directed link: the face whose boundary
+    /// traverses `d` in its own direction.
+    #[inline]
+    pub fn main_cycle(&self, d: Dart) -> FaceId {
+        self.faces.face_of(d)
+    }
+
+    /// The *complementary cycle* of a directed link: the face
+    /// traversing it in the opposite direction (§3).
+    #[inline]
+    pub fn complementary_cycle(&self, d: Dart) -> FaceId {
+        self.faces.complementary(d)
+    }
+
+    /// Walks the full cycle-following route that a packet deflected at
+    /// `failed` would take if *only* the links in `failed_links` were
+    /// down and no termination condition ever fired, up to `max_steps`.
+    ///
+    /// This is the geometric object §5.1 reasons about: the boundary of
+    /// the region obtained by joining all cells with failed links on
+    /// their boundaries. Used by tests and the walkthrough examples;
+    /// the real protocol lives in `pr-core` with termination conditions.
+    ///
+    /// Returns the darts traversed. Stops early (returning `None`) if a
+    /// node has no live dart or `max_steps` is exceeded.
+    pub fn boundary_walk(
+        &self,
+        graph: &Graph,
+        failed: Dart,
+        failed_links: &LinkSet,
+        max_steps: usize,
+    ) -> Option<Vec<Dart>> {
+        let mut walk = Vec::new();
+        let mut out = failed;
+        loop {
+            // Rotate past failed darts at this node.
+            let mut tries = 0;
+            while failed_links.contains_dart(out) {
+                out = self.deflection(out);
+                tries += 1;
+                if tries > graph.degree(graph.dart_tail(out)) {
+                    return None; // all interfaces failed: isolated
+                }
+            }
+            walk.push(out);
+            if walk.len() > max_steps {
+                return None;
+            }
+            // Arrived at head(out); continue its face.
+            out = self.cycle_continuation(out);
+            if out == failed || walk.first() == Some(&out) {
+                return Some(walk);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pr_graph::{generators, LinkId, NodeId};
+
+    #[test]
+    fn construction_validates_connectivity() {
+        let mut g = pr_graph::Graph::new();
+        let a = g.add_node("A");
+        let b = g.add_node("B");
+        g.add_node("isolated");
+        g.add_link(a, b, 1).unwrap();
+        let rot = RotationSystem::identity(&g);
+        assert!(matches!(
+            CellularEmbedding::new(&g, rot),
+            Err(EmbeddingError::NotConnected)
+        ));
+    }
+
+    #[test]
+    fn ring_embedding_queries() {
+        let g = generators::ring(4, 1);
+        let emb = CellularEmbedding::new(&g, RotationSystem::identity(&g)).unwrap();
+        assert_eq!(emb.genus(), 0);
+        assert_eq!(emb.faces().face_count(), 2);
+        for d in g.darts() {
+            assert_ne!(emb.main_cycle(d), emb.complementary_cycle(d));
+            // Deflection at a degree-2 node is the node's other dart.
+            let defl = emb.deflection(d);
+            assert_eq!(g.dart_tail(defl), g.dart_tail(d));
+            assert_ne!(defl, d);
+        }
+    }
+
+    #[test]
+    fn deflection_is_cycle_continuation_of_twin() {
+        let g = generators::petersen(1);
+        let emb = CellularEmbedding::new(&g, RotationSystem::identity(&g)).unwrap();
+        for d in g.darts() {
+            assert_eq!(emb.deflection(d), emb.cycle_continuation(d.twin()));
+        }
+    }
+
+    #[test]
+    fn boundary_walk_on_ring_traces_the_joined_region() {
+        // Ring 0-1-2-3-0; fail link 0-1. Joining the ring's two faces
+        // across the failed link leaves a single region whose boundary
+        // traverses every surviving link once per direction (§5.1):
+        // 0 -> 3 -> 2 -> 1 -> 2 -> 3 -> 0. The *protocol* stops at node 1
+        // (far side of the failure) — that termination lives in pr-core;
+        // this helper deliberately traces the whole boundary.
+        let g = generators::ring(4, 1);
+        let emb = CellularEmbedding::new(&g, RotationSystem::identity(&g)).unwrap();
+        let d01 = g.find_dart(NodeId(0), NodeId(1)).unwrap();
+        let failed = LinkSet::from_links(g.link_count(), [d01.link()]);
+        let walk = emb.boundary_walk(&g, d01, &failed, 100).unwrap();
+        let nodes: Vec<NodeId> = walk.iter().map(|&d| g.dart_head(d)).collect();
+        assert_eq!(
+            nodes,
+            vec![NodeId(3), NodeId(2), NodeId(1), NodeId(2), NodeId(3), NodeId(0)]
+        );
+        // Exactly the six surviving darts, each once.
+        assert_eq!(walk.len(), g.dart_count() - 2);
+        let mut sorted = walk.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), walk.len());
+        assert!(walk.iter().all(|&d| !failed.contains_dart(d)));
+    }
+
+    #[test]
+    fn boundary_walk_detects_isolation() {
+        // Star: all of the centre's links failed except none — fail both
+        // links of a path's middle node.
+        let g = generators::path(3, 1);
+        let emb_err = CellularEmbedding::new(&g, RotationSystem::identity(&g));
+        // A path is connected, so embedding works.
+        let emb = emb_err.unwrap();
+        let all = LinkSet::from_links(g.link_count(), [LinkId(0), LinkId(1)]);
+        let d = g.find_dart(NodeId(1), NodeId(0)).unwrap();
+        assert_eq!(emb.boundary_walk(&g, d, &all, 100), None);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let g = generators::ring(5, 1);
+        let emb = CellularEmbedding::new(&g, RotationSystem::identity(&g)).unwrap();
+        let json = serde_json::to_string(&emb).unwrap();
+        let back: CellularEmbedding = serde_json::from_str(&json).unwrap();
+        assert_eq!(emb, back);
+    }
+}

@@ -1,0 +1,79 @@
+//! Error types for embedding construction.
+
+use pr_graph::{Dart, NodeId};
+
+/// Errors arising while building or validating rotation systems and
+/// embeddings.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EmbeddingError {
+    /// Cellular embeddings (and the PR protocol) are defined on
+    /// connected graphs.
+    NotConnected,
+    /// The geometric heuristic needs coordinates on every node.
+    MissingCoordinates {
+        /// First node found without coordinates.
+        node: NodeId,
+    },
+    /// A per-node dart order did not list exactly the darts leaving
+    /// that node.
+    InvalidOrder {
+        /// The node whose order is wrong.
+        node: NodeId,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// A neighbour order referenced a node that is not adjacent.
+    NotAdjacent {
+        /// The node whose order is wrong.
+        node: NodeId,
+        /// The claimed neighbour.
+        neighbor: NodeId,
+    },
+    /// Neighbour orders are ambiguous in multigraphs: the same
+    /// neighbour appears on several parallel links, so orders must be
+    /// given as darts instead.
+    AmbiguousNeighbor {
+        /// The node whose order is ambiguous.
+        node: NodeId,
+        /// The neighbour reachable over multiple parallel links.
+        neighbor: NodeId,
+    },
+    /// Internal consistency failure surfaced by validation.
+    Corrupt {
+        /// The dart at which validation failed.
+        dart: Dart,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for EmbeddingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EmbeddingError::NotConnected => {
+                write!(f, "cellular embeddings require a connected graph")
+            }
+            EmbeddingError::MissingCoordinates { node } => {
+                write!(f, "geometric rotation needs coordinates on every node; {node} has none")
+            }
+            EmbeddingError::InvalidOrder { node, detail } => {
+                write!(f, "invalid dart order at {node}: {detail}")
+            }
+            EmbeddingError::NotAdjacent { node, neighbor } => {
+                write!(f, "order at {node} names {neighbor}, which is not adjacent")
+            }
+            EmbeddingError::AmbiguousNeighbor { node, neighbor } => {
+                write!(
+                    f,
+                    "order at {node} names {neighbor}, reachable over parallel links; \
+                     use dart orders instead of neighbour orders"
+                )
+            }
+            EmbeddingError::Corrupt { dart, detail } => {
+                write!(f, "rotation system corrupt at {dart}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EmbeddingError {}

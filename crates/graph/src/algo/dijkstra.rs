@@ -1,0 +1,379 @@
+//! Deterministic shortest-path trees (Dijkstra).
+//!
+//! Routing in the paper is destination-rooted: every router holds, per
+//! destination, a next hop along a shortest path *towards* that
+//! destination, plus a **distance discriminator** (§4.3) — a strictly
+//! increasing function of the links along that shortest path. We
+//! materialise both in a [`SpTree`].
+//!
+//! Determinism matters more than usual here: cycle-following correctness
+//! arguments reason about *the* shortest-path tree, and reproducible
+//! experiments need identical tables across runs and platforms. Ties are
+//! therefore broken canonically (fewest hops, then lowest parent node id,
+//! then lowest dart id) rather than by heap pop order.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::{Dart, Graph, LinkSet, NodeId};
+
+/// A destination-rooted shortest-path tree over the live links.
+///
+/// For every node `u` that can reach [`SpTree::dest`]:
+///
+/// * `dist[u]` — exact weighted cost of the shortest `u → dest` path;
+/// * `hops[u]` — hop count along the *selected* shortest path (the
+///   canonical tie-broken one), which strictly decreases hop by hop;
+/// * `next[u]` — the dart `u → parent` to follow towards `dest`.
+///
+/// Unreachable nodes have `None` everywhere; the destination itself has
+/// `dist = Some(0)`, `hops = Some(0)`, `next = None`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpTree {
+    /// The destination this tree routes towards.
+    pub dest: NodeId,
+    dist: Vec<Option<u64>>,
+    hops: Vec<Option<u32>>,
+    next: Vec<Option<Dart>>,
+}
+
+impl SpTree {
+    /// Computes the shortest-path tree towards `dest` using only links
+    /// not present in `failed`.
+    ///
+    /// Runs Dijkstra for the distance labels, then performs a canonical
+    /// parent-selection pass in increasing `(dist, node id)` order so the
+    /// resulting tree does not depend on heap internals. Because link
+    /// weights are ≥ 1, every parent has strictly smaller distance, so
+    /// the pass is well-founded.
+    pub fn towards(graph: &Graph, dest: NodeId, failed: &LinkSet) -> SpTree {
+        let n = graph.node_count();
+        let mut dist: Vec<Option<u64>> = vec![None; n];
+        let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+        dist[dest.index()] = Some(0);
+        heap.push(Reverse((0, dest.0)));
+
+        while let Some(Reverse((d, u))) = heap.pop() {
+            let u = NodeId(u);
+            if dist[u.index()] != Some(d) {
+                continue; // stale heap entry
+            }
+            for &dart in graph.darts_from(u) {
+                if failed.contains_dart(dart) {
+                    continue;
+                }
+                let v = graph.dart_head(dart);
+                let nd = d + u64::from(graph.weight(dart.link()));
+                if dist[v.index()].is_none_or(|cur| nd < cur) {
+                    dist[v.index()] = Some(nd);
+                    heap.push(Reverse((nd, v.0)));
+                }
+            }
+        }
+
+        // Canonical parent selection: process nodes in increasing
+        // (dist, id); every candidate parent is strictly closer to dest,
+        // hence already finalised when we reach its children.
+        let mut order: Vec<NodeId> =
+            graph.nodes().filter(|u| dist[u.index()].is_some()).collect();
+        order.sort_by_key(|u| (dist[u.index()].unwrap(), u.0));
+
+        let mut hops: Vec<Option<u32>> = vec![None; n];
+        let mut next: Vec<Option<Dart>> = vec![None; n];
+        for &u in &order {
+            if u == dest {
+                hops[u.index()] = Some(0);
+                continue;
+            }
+            let du = dist[u.index()].unwrap();
+            let mut best: Option<(u32, u32, u32, Dart)> = None;
+            for &dart in graph.darts_from(u) {
+                if failed.contains_dart(dart) {
+                    continue;
+                }
+                let v = graph.dart_head(dart);
+                let Some(dv) = dist[v.index()] else { continue };
+                if dv + u64::from(graph.weight(dart.link())) != du {
+                    continue; // not on a shortest path
+                }
+                let hv = hops[v.index()].expect("parent candidate finalised before child");
+                let key = (hv + 1, v.0, dart.0, dart);
+                if best.is_none_or(|b| (key.0, key.1, key.2) < (b.0, b.1, b.2)) {
+                    best = Some(key);
+                }
+            }
+            let (h, _, _, dart) = best.expect("reachable node must have a shortest-path parent");
+            hops[u.index()] = Some(h);
+            next[u.index()] = Some(dart);
+        }
+
+        SpTree { dest, dist, hops, next }
+    }
+
+    /// Convenience: tree over a fully-live graph.
+    pub fn towards_all_live(graph: &Graph, dest: NodeId) -> SpTree {
+        SpTree::towards(graph, dest, &LinkSet::empty(graph.link_count()))
+    }
+
+    /// Weighted cost from `node` to the destination, if reachable.
+    #[inline]
+    pub fn cost(&self, node: NodeId) -> Option<u64> {
+        self.dist[node.index()]
+    }
+
+    /// Hop count from `node` to the destination along the selected
+    /// shortest path, if reachable.
+    #[inline]
+    pub fn hops(&self, node: NodeId) -> Option<u32> {
+        self.hops[node.index()]
+    }
+
+    /// The dart `node → parent` towards the destination. `None` for the
+    /// destination itself and for unreachable nodes.
+    #[inline]
+    pub fn next_dart(&self, node: NodeId) -> Option<Dart> {
+        self.next[node.index()]
+    }
+
+    /// `true` if `node` can reach the destination.
+    #[inline]
+    pub fn reaches(&self, node: NodeId) -> bool {
+        self.dist[node.index()].is_some()
+    }
+
+    /// Materialises the node sequence `from, …, dest` using the graph.
+    ///
+    /// Returns `None` if `from` cannot reach the destination.
+    pub fn path_nodes(&self, graph: &Graph, from: NodeId) -> Option<Vec<NodeId>> {
+        self.dist[from.index()]?;
+        let mut nodes = vec![from];
+        let mut at = from;
+        while let Some(d) = self.next[at.index()] {
+            at = graph.dart_head(d);
+            nodes.push(at);
+        }
+        Some(nodes)
+    }
+
+    /// Materialises the dart sequence `from → … → dest` using the graph.
+    pub fn path_darts(&self, graph: &Graph, from: NodeId) -> Option<Vec<Dart>> {
+        self.dist[from.index()]?;
+        let mut darts = Vec::new();
+        let mut at = from;
+        while let Some(d) = self.next[at.index()] {
+            darts.push(d);
+            at = graph.dart_head(d);
+        }
+        Some(darts)
+    }
+
+    /// Links used by the tree (the union of all `next` darts' links).
+    pub fn tree_links(&self) -> impl Iterator<Item = crate::LinkId> + '_ {
+        self.next.iter().flatten().map(|d| d.link())
+    }
+}
+
+/// Shortest-path trees towards *every* destination over the live links.
+///
+/// This is the all-pairs view a link-state IGP would converge to. For the
+/// topologies in this workspace (tens of nodes) the dense representation
+/// is the right trade-off.
+#[derive(Debug, Clone)]
+pub struct AllPairs {
+    trees: Vec<SpTree>,
+}
+
+impl AllPairs {
+    /// Computes one tree per destination.
+    pub fn compute(graph: &Graph, failed: &LinkSet) -> AllPairs {
+        AllPairs { trees: graph.nodes().map(|d| SpTree::towards(graph, d, failed)).collect() }
+    }
+
+    /// Convenience: all-pairs over a fully-live graph.
+    pub fn compute_all_live(graph: &Graph) -> AllPairs {
+        AllPairs::compute(graph, &LinkSet::empty(graph.link_count()))
+    }
+
+    /// The tree routing towards `dest`.
+    #[inline]
+    pub fn towards(&self, dest: NodeId) -> &SpTree {
+        &self.trees[dest.index()]
+    }
+
+    /// Weighted cost of the shortest `src → dst` path, if connected.
+    #[inline]
+    pub fn cost(&self, src: NodeId, dst: NodeId) -> Option<u64> {
+        self.trees[dst.index()].cost(src)
+    }
+
+    /// Iterates over the per-destination trees.
+    pub fn iter(&self) -> impl Iterator<Item = &SpTree> {
+        self.trees.iter()
+    }
+
+    /// Maximum hop count over all connected `(src, dst)` pairs — the
+    /// network's hop diameter as seen along canonical shortest paths.
+    ///
+    /// This bounds the hop-count distance discriminator, so the paper's
+    /// DD field needs `ceil(log2(diameter + 1))` bits (§6).
+    pub fn hop_diameter(&self) -> u32 {
+        self.trees
+            .iter()
+            .flat_map(|t| t.hops.iter().flatten().copied())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Maximum weighted cost over all connected pairs, bounding the
+    /// weighted-cost distance discriminator.
+    pub fn cost_diameter(&self) -> u64 {
+        self.trees
+            .iter()
+            .flat_map(|t| t.dist.iter().flatten().copied())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphError;
+
+    /// The 6-node network of the paper's Figure 1(a):
+    /// nodes A,B,C,D,E,F; links A-B, A-C, B-C, B-D, C-E, D-E, D-F, E-F.
+    fn figure1_like() -> (Graph, Vec<NodeId>) {
+        let mut g = Graph::new();
+        let ids: Vec<NodeId> = ["A", "B", "C", "D", "E", "F"].iter().map(|n| g.add_node(*n)).collect();
+        let (a, b, c, d, e, f) = (ids[0], ids[1], ids[2], ids[3], ids[4], ids[5]);
+        for (x, y) in [(a, b), (a, c), (b, c), (b, d), (c, e), (d, e), (d, f), (e, f)] {
+            g.add_link(x, y, 1).unwrap();
+        }
+        (g, ids)
+    }
+
+    #[test]
+    fn unit_weights_give_bfs_distances() {
+        let (g, ids) = figure1_like();
+        let f = ids[5];
+        let t = SpTree::towards_all_live(&g, f);
+        assert_eq!(t.cost(ids[0]), Some(3)); // A: A-B-D-F or A-C-E-F
+        assert_eq!(t.cost(ids[1]), Some(2)); // B: B-D-F
+        assert_eq!(t.cost(ids[3]), Some(1)); // D
+        assert_eq!(t.cost(f), Some(0));
+        assert_eq!(t.hops(ids[0]), Some(3));
+        assert_eq!(t.next_dart(f), None);
+    }
+
+    #[test]
+    fn canonical_tie_breaking_prefers_low_ids() {
+        // A connects to D via B (id 1) or C (id 2), equal cost: the
+        // canonical tree must pick B.
+        let mut g = Graph::new();
+        let a = g.add_node("A");
+        let b = g.add_node("B");
+        let c = g.add_node("C");
+        let d = g.add_node("D");
+        g.add_link(a, b, 1).unwrap();
+        g.add_link(a, c, 1).unwrap();
+        g.add_link(b, d, 1).unwrap();
+        g.add_link(c, d, 1).unwrap();
+        let t = SpTree::towards_all_live(&g, d);
+        let path = t.path_nodes(&g, a).unwrap();
+        assert_eq!(path, vec![a, b, d]);
+    }
+
+    #[test]
+    fn weights_respected() {
+        let mut g = Graph::new();
+        let a = g.add_node("A");
+        let b = g.add_node("B");
+        let c = g.add_node("C");
+        g.add_link(a, b, 10).unwrap();
+        g.add_link(a, c, 1).unwrap();
+        g.add_link(c, b, 1).unwrap();
+        let t = SpTree::towards_all_live(&g, b);
+        assert_eq!(t.cost(a), Some(2));
+        assert_eq!(t.path_nodes(&g, a).unwrap(), vec![a, c, b]);
+        assert_eq!(t.hops(a), Some(2));
+    }
+
+    #[test]
+    fn failed_links_are_avoided() {
+        let (g, ids) = figure1_like();
+        let (d, e, f) = (ids[3], ids[4], ids[5]);
+        let de = g.find_link(d, e).unwrap();
+        let failed = LinkSet::from_links(g.link_count(), [de]);
+        let t = SpTree::towards(&g, f, &failed);
+        // E must now route via F directly (E-F still up).
+        assert_eq!(t.cost(e), Some(1));
+        // D still reaches F directly.
+        assert_eq!(t.cost(d), Some(1));
+        assert!(!t.path_darts(&g, e).unwrap().iter().any(|dd| dd.link() == de));
+    }
+
+    #[test]
+    fn disconnection_yields_none() {
+        let mut g = Graph::new();
+        let a = g.add_node("A");
+        let b = g.add_node("B");
+        let c = g.add_node("C");
+        let ab = g.add_link(a, b, 1).unwrap();
+        let _ = c;
+        let failed = LinkSet::from_links(g.link_count(), [ab]);
+        let t = SpTree::towards(&g, b, &failed);
+        assert!(!t.reaches(a));
+        assert!(!t.reaches(c));
+        assert_eq!(t.path_nodes(&g, a), None);
+        assert!(t.reaches(b));
+    }
+
+    #[test]
+    fn hops_strictly_decrease_along_tree() {
+        let (g, ids) = figure1_like();
+        let t = SpTree::towards_all_live(&g, ids[5]);
+        for u in g.nodes() {
+            if let Some(d) = t.next_dart(u) {
+                let v = g.dart_head(d);
+                assert_eq!(t.hops(u).unwrap(), t.hops(v).unwrap() + 1);
+                assert!(t.cost(u).unwrap() > t.cost(v).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn all_pairs_diameters() {
+        let (g, _) = figure1_like();
+        let ap = AllPairs::compute_all_live(&g);
+        assert_eq!(ap.hop_diameter(), 3); // A is 3 hops from F
+        assert_eq!(ap.cost_diameter(), 3);
+        // Symmetry of costs on an undirected graph.
+        for s in g.nodes() {
+            for d in g.nodes() {
+                assert_eq!(ap.cost(s, d), ap.cost(d, s));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_links_take_cheapest() {
+        let mut g = Graph::new();
+        let a = g.add_node("A");
+        let b = g.add_node("B");
+        let heavy = g.add_link(a, b, 10).unwrap();
+        let light = g.add_link(a, b, 2).unwrap();
+        let t = SpTree::towards_all_live(&g, b);
+        assert_eq!(t.cost(a), Some(2));
+        assert_eq!(t.next_dart(a).unwrap().link(), light);
+        let failed = LinkSet::from_links(g.link_count(), [light]);
+        let t2 = SpTree::towards(&g, b, &failed);
+        assert_eq!(t2.cost(a), Some(10));
+        assert_eq!(t2.next_dart(a).unwrap().link(), heavy);
+    }
+
+    #[test]
+    fn graph_error_display_is_stable() {
+        let err = GraphError::ZeroWeight;
+        assert!(err.to_string().contains(">= 1"));
+    }
+}

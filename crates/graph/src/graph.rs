@@ -1,0 +1,387 @@
+//! The core undirected multigraph with half-edge (dart) structure.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Dart, GraphError, LinkId, NodeId};
+
+/// Geographic coordinates attached to a node, in degrees.
+///
+/// Used by the geometric embedding heuristic (neighbours sorted by
+/// compass bearing) and by topology pretty-printers. Longitude first to
+/// match the usual `(x, y)` plotting convention.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Coordinates {
+    /// Longitude in degrees, east positive.
+    pub lon: f64,
+    /// Latitude in degrees, north positive.
+    pub lat: f64,
+}
+
+/// One undirected link record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct LinkRecord {
+    /// First endpoint (tail of the forward dart).
+    a: NodeId,
+    /// Second endpoint (head of the forward dart).
+    b: NodeId,
+    /// Strictly positive routing weight (IGP metric).
+    weight: u32,
+}
+
+/// An undirected multigraph of routers and links, with a half-edge
+/// ("dart") view used by embeddings and forwarding tables.
+///
+/// * Nodes and links carry dense `u32` ids (see [`NodeId`], [`LinkId`]).
+/// * Every link owns two [`Dart`]s pointing in opposite directions.
+/// * Parallel links are allowed (they are distinct links with distinct
+///   dart pairs); self-loops are rejected because a failed self-loop is
+///   meaningless for rerouting.
+/// * Link weights are strictly positive integers (IGP metrics). Using
+///   integers keeps shortest-path costs and the paper's *distance
+///   discriminator* exact, so the strict-decrease termination condition
+///   of §4.3 never suffers from floating-point ties.
+///
+/// # Example
+///
+/// ```
+/// use pr_graph::Graph;
+///
+/// let mut g = Graph::new();
+/// let a = g.add_node("A");
+/// let b = g.add_node("B");
+/// let l = g.add_link(a, b, 10).unwrap();
+/// assert_eq!(g.endpoints(l), (a, b));
+/// assert_eq!(g.dart_tail(l.forward()), a);
+/// assert_eq!(g.dart_head(l.forward()), b);
+/// assert_eq!(g.degree(a), 1);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Graph {
+    names: Vec<String>,
+    coords: Vec<Option<Coordinates>>,
+    links: Vec<LinkRecord>,
+    /// Per node: darts whose tail is that node, in insertion order.
+    out_darts: Vec<Vec<Dart>>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a graph with `n` anonymous nodes named `"0"`, `"1"`, ….
+    pub fn with_nodes(n: usize) -> Self {
+        let mut g = Self::new();
+        for i in 0..n {
+            g.add_node(i.to_string());
+        }
+        g
+    }
+
+    /// Adds a node and returns its id.
+    ///
+    /// Names are labels for humans; they are not required to be unique
+    /// here (the topology parser enforces uniqueness at its level).
+    pub fn add_node(&mut self, name: impl Into<String>) -> NodeId {
+        let id = NodeId(u32::try_from(self.names.len()).expect("graph exceeds u32 id space"));
+        self.names.push(name.into());
+        self.coords.push(None);
+        self.out_darts.push(Vec::new());
+        id
+    }
+
+    /// Adds an undirected link between `a` and `b` with the given weight.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::SelfLoop`] if `a == b`;
+    /// * [`GraphError::ZeroWeight`] if `weight == 0`;
+    /// * [`GraphError::NodeOutOfRange`] if either endpoint is unknown.
+    pub fn add_link(&mut self, a: NodeId, b: NodeId, weight: u32) -> Result<LinkId, GraphError> {
+        self.check_node(a)?;
+        self.check_node(b)?;
+        if a == b {
+            return Err(GraphError::SelfLoop { node: a });
+        }
+        if weight == 0 {
+            return Err(GraphError::ZeroWeight);
+        }
+        let id = LinkId(u32::try_from(self.links.len()).map_err(|_| GraphError::TooLarge)?);
+        self.links.push(LinkRecord { a, b, weight });
+        self.out_darts[a.index()].push(id.forward());
+        self.out_darts[b.index()].push(id.reverse());
+        Ok(id)
+    }
+
+    /// Attaches geographic coordinates to a node.
+    pub fn set_coordinates(&mut self, node: NodeId, coords: Coordinates) {
+        self.coords[node.index()] = Some(coords);
+    }
+
+    /// Coordinates of a node, if any were set.
+    pub fn coordinates(&self, node: NodeId) -> Option<Coordinates> {
+        self.coords[node.index()]
+    }
+
+    /// `true` if every node has coordinates.
+    pub fn fully_located(&self) -> bool {
+        self.coords.iter().all(Option::is_some)
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of undirected links.
+    #[inline]
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Number of darts (always `2 * link_count`).
+    #[inline]
+    pub fn dart_count(&self) -> usize {
+        self.links.len() * 2
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeId> {
+        (0..self.names.len() as u32).map(NodeId)
+    }
+
+    /// Iterator over all link ids.
+    pub fn links(&self) -> impl ExactSizeIterator<Item = LinkId> {
+        (0..self.links.len() as u32).map(LinkId)
+    }
+
+    /// Iterator over all darts.
+    pub fn darts(&self) -> impl ExactSizeIterator<Item = Dart> {
+        (0..self.links.len() as u32 * 2).map(Dart)
+    }
+
+    /// Human-readable name of a node.
+    pub fn node_name(&self, node: NodeId) -> &str {
+        &self.names[node.index()]
+    }
+
+    /// Looks a node up by name (linear scan; topologies are small).
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.names.iter().position(|n| n == name).map(|i| NodeId(i as u32))
+    }
+
+    /// The two endpoints of a link, in declaration order.
+    #[inline]
+    pub fn endpoints(&self, link: LinkId) -> (NodeId, NodeId) {
+        let r = &self.links[link.index()];
+        (r.a, r.b)
+    }
+
+    /// The weight (IGP metric) of a link.
+    #[inline]
+    pub fn weight(&self, link: LinkId) -> u32 {
+        self.links[link.index()].weight
+    }
+
+    /// The node a dart points *away from*.
+    #[inline]
+    pub fn dart_tail(&self, dart: Dart) -> NodeId {
+        let r = &self.links[dart.link().index()];
+        if dart.is_forward() {
+            r.a
+        } else {
+            r.b
+        }
+    }
+
+    /// The node a dart points *to*.
+    #[inline]
+    pub fn dart_head(&self, dart: Dart) -> NodeId {
+        let r = &self.links[dart.link().index()];
+        if dart.is_forward() {
+            r.b
+        } else {
+            r.a
+        }
+    }
+
+    /// Darts leaving `node`, in link insertion order.
+    ///
+    /// This is the node's *interface list*: the dart `X -> Y` is the
+    /// outgoing interface from `X` towards `Y`, and its twin is the
+    /// paper's `I_XY` (the interface at `Y` receiving from `X`).
+    #[inline]
+    pub fn darts_from(&self, node: NodeId) -> &[Dart] {
+        &self.out_darts[node.index()]
+    }
+
+    /// Degree of a node (number of incident link endpoints).
+    #[inline]
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.out_darts[node.index()].len()
+    }
+
+    /// Neighbours of a node, in interface order (with multiplicity for
+    /// parallel links).
+    pub fn neighbors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.out_darts[node.index()].iter().map(|&d| self.dart_head(d))
+    }
+
+    /// Finds a link joining `a` and `b` (either orientation), if any.
+    ///
+    /// With parallel links, returns the lowest-id one.
+    pub fn find_link(&self, a: NodeId, b: NodeId) -> Option<LinkId> {
+        self.out_darts[a.index()]
+            .iter()
+            .find(|&&d| self.dart_head(d) == b)
+            .map(|d| d.link())
+    }
+
+    /// Finds the dart oriented `a -> b`, if a link joins them.
+    ///
+    /// With parallel links, returns the one on the lowest-id link.
+    pub fn find_dart(&self, a: NodeId, b: NodeId) -> Option<Dart> {
+        self.out_darts[a.index()].iter().copied().find(|&d| self.dart_head(d) == b)
+    }
+
+    /// Sum of all link weights.
+    pub fn total_weight(&self) -> u64 {
+        self.links.iter().map(|l| u64::from(l.weight)).sum()
+    }
+
+    /// Validates a node id.
+    fn check_node(&self, node: NodeId) -> Result<(), GraphError> {
+        if node.index() < self.names.len() {
+            Ok(())
+        } else {
+            Err(GraphError::NodeOutOfRange { node, node_count: self.names.len() })
+        }
+    }
+
+    /// Returns a compact one-line summary, e.g. `"abilene: 11 nodes, 14 links"`.
+    pub fn summary(&self, label: &str) -> String {
+        format!("{label}: {} nodes, {} links", self.node_count(), self.link_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> (Graph, [NodeId; 3], [LinkId; 3]) {
+        let mut g = Graph::new();
+        let a = g.add_node("A");
+        let b = g.add_node("B");
+        let c = g.add_node("C");
+        let ab = g.add_link(a, b, 1).unwrap();
+        let bc = g.add_link(b, c, 2).unwrap();
+        let ca = g.add_link(c, a, 3).unwrap();
+        (g, [a, b, c], [ab, bc, ca])
+    }
+
+    #[test]
+    fn counts() {
+        let (g, _, _) = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.link_count(), 3);
+        assert_eq!(g.dart_count(), 6);
+    }
+
+    #[test]
+    fn dart_orientation() {
+        let (g, [a, b, _c], [ab, ..]) = triangle();
+        assert_eq!(g.dart_tail(ab.forward()), a);
+        assert_eq!(g.dart_head(ab.forward()), b);
+        assert_eq!(g.dart_tail(ab.reverse()), b);
+        assert_eq!(g.dart_head(ab.reverse()), a);
+    }
+
+    #[test]
+    fn interface_lists() {
+        let (g, [a, b, c], [ab, bc, ca]) = triangle();
+        assert_eq!(g.darts_from(a), &[ab.forward(), ca.reverse()]);
+        assert_eq!(g.darts_from(b), &[ab.reverse(), bc.forward()]);
+        assert_eq!(g.darts_from(c), &[bc.reverse(), ca.forward()]);
+        assert_eq!(g.degree(a), 2);
+        let nbrs: Vec<_> = g.neighbors(a).collect();
+        assert_eq!(nbrs, vec![b, c]);
+    }
+
+    #[test]
+    fn find_link_and_dart() {
+        let (g, [a, b, c], [ab, bc, _]) = triangle();
+        assert_eq!(g.find_link(a, b), Some(ab));
+        assert_eq!(g.find_link(b, a), Some(ab));
+        assert_eq!(g.find_dart(b, c), Some(bc.forward()));
+        assert_eq!(g.find_dart(c, b), Some(bc.reverse()));
+        let mut g2 = g.clone();
+        let d = g2.add_node("D");
+        assert_eq!(g2.find_link(a, d), None);
+    }
+
+    #[test]
+    fn rejects_self_loop_and_zero_weight() {
+        let mut g = Graph::new();
+        let a = g.add_node("A");
+        let b = g.add_node("B");
+        assert_eq!(g.add_link(a, a, 1), Err(GraphError::SelfLoop { node: a }));
+        assert_eq!(g.add_link(a, b, 0), Err(GraphError::ZeroWeight));
+    }
+
+    #[test]
+    fn rejects_unknown_endpoint() {
+        let mut g = Graph::new();
+        let a = g.add_node("A");
+        let ghost = NodeId(42);
+        assert!(matches!(g.add_link(a, ghost, 1), Err(GraphError::NodeOutOfRange { .. })));
+    }
+
+    #[test]
+    fn parallel_links_are_distinct() {
+        let mut g = Graph::new();
+        let a = g.add_node("A");
+        let b = g.add_node("B");
+        let l1 = g.add_link(a, b, 1).unwrap();
+        let l2 = g.add_link(a, b, 5).unwrap();
+        assert_ne!(l1, l2);
+        assert_eq!(g.degree(a), 2);
+        assert_eq!(g.find_link(a, b), Some(l1));
+        assert_eq!(g.weight(l2), 5);
+    }
+
+    #[test]
+    fn names_and_lookup() {
+        let (g, [a, ..], _) = triangle();
+        assert_eq!(g.node_name(a), "A");
+        assert_eq!(g.node_by_name("B"), Some(NodeId(1)));
+        assert_eq!(g.node_by_name("Z"), None);
+    }
+
+    #[test]
+    fn coordinates_roundtrip() {
+        let (mut g, [a, ..], _) = triangle();
+        assert!(!g.fully_located());
+        g.set_coordinates(a, Coordinates { lon: -0.13, lat: 51.52 });
+        let c = g.coordinates(a).unwrap();
+        assert_eq!(c.lon, -0.13);
+        assert_eq!(c.lat, 51.52);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let (g, _, _) = triangle();
+        let json = serde_json::to_string(&g).unwrap();
+        let g2: Graph = serde_json::from_str(&json).unwrap();
+        assert_eq!(g2.node_count(), 3);
+        assert_eq!(g2.link_count(), 3);
+        assert_eq!(g2.weight(LinkId(2)), 3);
+    }
+
+    #[test]
+    fn total_weight() {
+        let (g, _, _) = triangle();
+        assert_eq!(g.total_weight(), 6);
+    }
+}

@@ -1,0 +1,149 @@
+//! Strongly-typed identifiers for nodes, links and darts.
+//!
+//! The whole workspace manipulates three kinds of indices:
+//!
+//! * [`NodeId`] — a router.
+//! * [`LinkId`] — an *undirected* link between two routers.
+//! * [`Dart`] — a *directed half* of a link (a "half-edge"). Every link
+//!   owns exactly two darts pointing in opposite directions.
+//!
+//! Darts are the currency of cellular embeddings: a rotation system is a
+//! permutation of the darts around each node, and a face of the embedding
+//! is an orbit of darts. They are also the currency of forwarding: the
+//! paper's "interface `I_YX`" (the interface at node `X` receiving packets
+//! from node `Y`) is exactly the dart `Y -> X`, so cycle-following tables
+//! become maps from darts to darts.
+//!
+//! The packing is fixed: link `l` owns darts `2*l` and `2*l + 1`, and
+//! [`Dart::twin`] is a single XOR. This makes dart arithmetic trivially
+//! branch-free, which matters in the forwarding fast path.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node (router) in a [`Graph`](crate::Graph).
+///
+/// Node ids are dense: a graph with `n` nodes uses ids `0..n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct NodeId(pub u32);
+
+/// Identifier of an undirected link in a [`Graph`](crate::Graph).
+///
+/// Link ids are dense: a graph with `m` links uses ids `0..m`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct LinkId(pub u32);
+
+/// A directed half-edge ("dart").
+///
+/// Link `l` owns the dart pair `2*l` (the *forward* dart, oriented from
+/// the link's first endpoint to its second) and `2*l + 1` (the *reverse*
+/// dart). [`Dart::twin`] flips between the two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Dart(pub u32);
+
+impl NodeId {
+    /// The id as a `usize`, for indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl LinkId {
+    /// The id as a `usize`, for indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The forward dart of this link (first endpoint → second endpoint).
+    #[inline]
+    pub fn forward(self) -> Dart {
+        Dart(self.0 * 2)
+    }
+
+    /// The reverse dart of this link (second endpoint → first endpoint).
+    #[inline]
+    pub fn reverse(self) -> Dart {
+        Dart(self.0 * 2 + 1)
+    }
+}
+
+impl Dart {
+    /// The id as a `usize`, for indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The dart of the same link pointing in the opposite direction.
+    #[inline]
+    pub fn twin(self) -> Dart {
+        Dart(self.0 ^ 1)
+    }
+
+    /// The undirected link this dart belongs to.
+    #[inline]
+    pub fn link(self) -> LinkId {
+        LinkId(self.0 >> 1)
+    }
+
+    /// `true` if this is the forward dart of its link.
+    #[inline]
+    pub fn is_forward(self) -> bool {
+        self.0 & 1 == 0
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl std::fmt::Display for LinkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+impl std::fmt::Display for Dart {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twin_is_involution() {
+        for raw in 0..100u32 {
+            let d = Dart(raw);
+            assert_eq!(d.twin().twin(), d);
+            assert_ne!(d.twin(), d);
+        }
+    }
+
+    #[test]
+    fn darts_of_link_share_link_id() {
+        for raw in 0..100u32 {
+            let l = LinkId(raw);
+            assert_eq!(l.forward().link(), l);
+            assert_eq!(l.reverse().link(), l);
+            assert_eq!(l.forward().twin(), l.reverse());
+            assert!(l.forward().is_forward());
+            assert!(!l.reverse().is_forward());
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(LinkId(4).to_string(), "l4");
+        assert_eq!(Dart(9).to_string(), "d9");
+    }
+}

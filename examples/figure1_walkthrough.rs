@@ -1,0 +1,58 @@
+//! The paper's Figure 1 walkthroughs, replayed hop by hop — the same
+//! scenarios its §4.2 and §4.3 narrate, on the exact embedding drawn
+//! in Figure 1(a).
+//!
+//! ```sh
+//! cargo run --release --example figure1_walkthrough
+//! ```
+
+use packet_recycling::prelude::*;
+
+fn main() {
+    let (graph, orders) = topologies::figure1();
+    let rot = RotationSystem::from_neighbor_orders(&graph, &orders).expect("figure-1 orders");
+    let emb = CellularEmbedding::new(&graph, rot).expect("connected");
+
+    println!("The cellular cycle system of Figure 1(a):");
+    for (f, _) in emb.faces().iter() {
+        println!("  {}", emb.faces().display_face(&graph, f));
+    }
+
+    let net = PrNetwork::compile(
+        &graph,
+        emb,
+        PrMode::DistanceDiscriminator,
+        DiscriminatorKind::Hops,
+    );
+    let n = |s: &str| graph.node_by_name(s).unwrap();
+    let link = |a: &str, b: &str| graph.find_link(n(a), n(b)).unwrap();
+
+    println!("\nTable 1 — cycle following table at node D:");
+    print!("{}", net.cycle_table().display_at(&graph, net.embedding(), n("D")));
+
+    let run = |label: &str, failed: LinkSet| {
+        println!("\n{label}");
+        let walk =
+            walk_packet(&graph, &net.agent(&graph), n("A"), n("F"), &failed, generous_ttl(&graph));
+        match walk.result {
+            WalkResult::Delivered => {
+                println!("  route: {}", walk.path.display(&graph, n("A")));
+                println!("  hops: {}, peak header bits: {}", walk.path.hop_count(), walk.peak_header_bits);
+            }
+            WalkResult::Dropped(reason) => println!("  dropped: {reason}"),
+        }
+    };
+
+    run(
+        "Figure 1(b): packet A->F, link D-E failed:",
+        LinkSet::from_links(graph.link_count(), [link("D", "E")]),
+    );
+    run(
+        "§4.2 second example: links A-B and D-E failed:",
+        LinkSet::from_links(graph.link_count(), [link("A", "B"), link("D", "E")]),
+    );
+    run(
+        "Figure 1(c): links D-E and B-C failed (DD termination):",
+        LinkSet::from_links(graph.link_count(), [link("D", "E"), link("B", "C")]),
+    );
+}

@@ -1,0 +1,50 @@
+//! Quickstart: protect a network with Packet Re-cycling in ~40 lines.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use packet_recycling::prelude::*;
+
+fn main() {
+    // A network: the Abilene research backbone, distance-weighted.
+    let graph = topologies::load(topologies::Isp::Abilene, topologies::Weighting::Distance);
+    println!("topology: {} nodes, {} links", graph.node_count(), graph.link_count());
+
+    // Offline phase (the paper's "designated server"): find a cellular
+    // embedding — Abilene is planar, and the search certifies genus 0.
+    let rotation = embedding::heuristics::thorough(&graph, 7, 4, 20_000);
+    let emb = CellularEmbedding::new(&graph, rotation).expect("connected topology");
+    println!("embedding: genus {}, {} backup cycles", emb.genus(), emb.faces().face_count());
+
+    // Compile the per-router state: shortest-path tables with the
+    // distance-discriminator column, plus cycle following tables.
+    let net = PrNetwork::compile(&graph, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
+    println!(
+        "header: 1 PR bit + {} DD bits = {} bits (fits DSCP pool 2: {})",
+        net.codec().dd_bits(),
+        net.codec().total_bits(),
+        net.codec().fits_in_dscp_pool2()
+    );
+
+    // Fail the Denver–Kansas City link and send a packet that would
+    // have crossed it.
+    let den = graph.node_by_name("Denver").unwrap();
+    let kc = graph.node_by_name("KansasCity").unwrap();
+    let nyc = graph.node_by_name("NewYork").unwrap();
+    let failed = LinkSet::from_links(graph.link_count(), [graph.find_link(den, kc).unwrap()]);
+
+    let walk = walk_packet(&graph, &net.agent(&graph), den, nyc, &failed, generous_ttl(&graph));
+    assert!(walk.result.is_delivered());
+    println!("\nDenver -> NewYork with Denver-KansasCity down:");
+    println!("  route: {}", walk.path.display(&graph, den));
+
+    // Stretch relative to the failure-free optimum (§6's metric).
+    let optimal = SpTree::towards_all_live(&graph, nyc).cost(den).unwrap();
+    println!(
+        "  cost {} vs optimal {}  =>  stretch {:.2}",
+        walk.cost(&graph),
+        optimal,
+        walk.stretch(&graph, optimal).unwrap()
+    );
+}
