@@ -174,11 +174,7 @@ mod tests {
                         continue;
                     }
                     let w = walk_packet(&g, &agent, src, dst, &failed, ttl);
-                    assert!(
-                        w.result.is_delivered(),
-                        "{src}->{dst} with {l} down: {:?}",
-                        w.result
-                    );
+                    assert!(w.result.is_delivered(), "{src}->{dst} with {l} down: {:?}", w.result);
                 }
             }
         }

@@ -12,28 +12,26 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 use pr_baselines::{FcpAgent, LfaAgent, NotViaAgent, ReconvergenceAgent};
-use pr_core::{generous_ttl, walk_packet, DropReason, ForwardingAgent, WalkResult};
+use pr_core::{generous_ttl, walk_packet, DropReason, WalkResult};
 use pr_graph::{algo, generators, Graph, LinkId, LinkSet, SpTree};
 
 fn arb_graph_and_failures() -> impl Strategy<Value = (Graph, LinkSet)> {
-    (3usize..16, 0usize..10, 0u64..u64::MAX, 0usize..6).prop_map(
-        |(n, chords, seed, failures)| {
-            let mut rng = StdRng::seed_from_u64(seed);
-            let g = generators::random_two_edge_connected(n, chords, 1..=6, &mut rng);
-            let mut failed = LinkSet::empty(g.link_count());
-            let mut candidates: Vec<LinkId> = g.links().collect();
-            candidates.shuffle(&mut rng);
-            for l in candidates {
-                if failed.len() >= failures {
-                    break;
-                }
-                if algo::connected_after(&g, &failed, l) {
-                    failed.insert(l);
-                }
+    (3usize..16, 0usize..10, 0u64..u64::MAX, 0usize..6).prop_map(|(n, chords, seed, failures)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::random_two_edge_connected(n, chords, 1..=6, &mut rng);
+        let mut failed = LinkSet::empty(g.link_count());
+        let mut candidates: Vec<LinkId> = g.links().collect();
+        candidates.shuffle(&mut rng);
+        for l in candidates {
+            if failed.len() >= failures {
+                break;
             }
-            (g, failed)
-        },
-    )
+            if algo::connected_after(&g, &failed, l) {
+                failed.insert(l);
+            }
+        }
+        (g, failed)
+    })
 }
 
 proptest! {

@@ -13,9 +13,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use pr_baselines::{FcpAgent, LfaAgent, ReconvergenceAgent};
-use pr_core::{
-    generous_ttl, walk_packet, DiscriminatorKind, ForwardingAgent, PrMode, PrNetwork, WalkResult,
-};
+use pr_core::{generous_ttl, walk_packet, DiscriminatorKind, PrMode, PrNetwork, WalkResult};
 use pr_embedding::{planar, CellularEmbedding};
 use pr_graph::{algo, Graph, LinkId, LinkSet, SpTree};
 
@@ -50,7 +48,8 @@ fn scenarios() -> Vec<(Graph, pr_embedding::RotationSystem, LinkSet)> {
 fn cost_ordering_reconvergence_fcp_pr() {
     for (g, rot, failed) in scenarios() {
         let emb = CellularEmbedding::new(&g, rot).unwrap();
-        let pr = PrNetwork::compile(&g, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
+        let pr =
+            PrNetwork::compile(&g, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
         let pr_agent = pr.agent(&g);
         let fcp = FcpAgent::new(&g);
         let reconv = ReconvergenceAgent::converged_on(&g, &failed);
@@ -83,7 +82,8 @@ fn cost_ordering_reconvergence_fcp_pr() {
 fn header_accounting_ordering() {
     for (g, rot, failed) in scenarios() {
         let emb = CellularEmbedding::new(&g, rot).unwrap();
-        let pr = PrNetwork::compile(&g, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
+        let pr =
+            PrNetwork::compile(&g, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
         let pr_agent = pr.agent(&g);
         let fcp = FcpAgent::new(&g);
         let reconv = ReconvergenceAgent::converged_on(&g, &failed);
@@ -102,8 +102,7 @@ fn header_accounting_ordering() {
                 let w_fcp = walk_packet(&g, &fcp, src, dst, &failed, ttl);
                 // FCP's header grows by one link id per encountered
                 // failure; with k failures it is bounded by len + k*id.
-                let bound =
-                    FcpAgent::LENGTH_FIELD_BITS + failed.len() * fcp.link_id_bits();
+                let bound = FcpAgent::LENGTH_FIELD_BITS + failed.len() * fcp.link_id_bits();
                 assert!(
                     w_fcp.peak_header_bits <= bound,
                     "FCP header {} exceeded bound {}",
@@ -131,7 +130,8 @@ fn lfa_never_beats_full_coverage_schemes() {
             continue;
         }
         let emb = CellularEmbedding::new(&g, rot).unwrap();
-        let pr = PrNetwork::compile(&g, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
+        let pr =
+            PrNetwork::compile(&g, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
         let pr_agent = pr.agent(&g);
         let fcp = FcpAgent::new(&g);
         let lfa = LfaAgent::compute(&g);
@@ -147,9 +147,9 @@ fn lfa_never_beats_full_coverage_schemes() {
                         continue;
                     }
                     total += 1;
-                    assert!(
-                        walk_packet(&g, &pr_agent, src, dst, &failed, ttl).result.is_delivered()
-                    );
+                    assert!(walk_packet(&g, &pr_agent, src, dst, &failed, ttl)
+                        .result
+                        .is_delivered());
                     assert!(walk_packet(&g, &fcp, src, dst, &failed, ttl).result.is_delivered());
                     if let WalkResult::Delivered =
                         walk_packet(&g, &lfa, src, dst, &failed, ttl).result

@@ -18,7 +18,8 @@ fn bench_forwarding(c: &mut Criterion) {
     let graph = pr_topologies::load(Isp::Geant, Weighting::Distance);
     let rot = pr_embedding::heuristics::best_effort(&graph, 1);
     let emb = CellularEmbedding::new(&graph, rot).unwrap();
-    let net = PrNetwork::compile(&graph, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
+    let net =
+        PrNetwork::compile(&graph, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
     let pr = net.agent(&graph);
     let fcp = FcpAgent::new(&graph);
     let lfa = LfaAgent::compute(&graph);

@@ -9,9 +9,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
 
-use pr_core::{
-    generous_ttl, walk_packet, DiscriminatorKind, PrMode, PrNetwork, WalkResult,
-};
+use pr_core::{generous_ttl, walk_packet, DiscriminatorKind, PrMode, PrNetwork, WalkResult};
 use pr_embedding::{genus, CellularEmbedding, FaceStructure, RotationSystem};
 use pr_graph::{Graph, SpTree};
 
@@ -38,17 +36,15 @@ pub struct EmbeddingAblationRow {
 /// thorough.
 pub fn embedding_ablation(graph: &Graph, seed: u64) -> Vec<EmbeddingAblationRow> {
     let geometric = RotationSystem::geometric(graph).ok();
-    let mut candidates: Vec<(String, RotationSystem)> = vec![
-        ("identity".into(), RotationSystem::identity(graph)),
-    ];
+    let mut candidates: Vec<(String, RotationSystem)> =
+        vec![("identity".into(), RotationSystem::identity(graph))];
     if let Some(geo) = geometric {
         candidates.push(("geometric".into(), geo.clone()));
-        candidates.push(("geometric+hillclimb".into(), pr_embedding::heuristics::hill_climb(graph, geo)));
+        candidates
+            .push(("geometric+hillclimb".into(), pr_embedding::heuristics::hill_climb(graph, geo)));
     }
-    candidates.push((
-        "thorough".into(),
-        pr_embedding::heuristics::thorough(graph, seed, 6, 40_000),
-    ));
+    candidates
+        .push(("thorough".into(), pr_embedding::heuristics::thorough(graph, seed, 6, 40_000)));
 
     candidates
         .into_iter()
@@ -103,8 +99,7 @@ fn single_failure_stretch(graph: &Graph, embedding: &CellularEmbedding) -> (f64,
                 let w = walk_packet(graph, &agent, src, dst, &failed, ttl);
                 if let WalkResult::Delivered = w.result {
                     delivered += 1;
-                    stretches
-                        .push(w.cost(graph) as f64 / base_tree.cost(src).unwrap() as f64);
+                    stretches.push(w.cost(graph) as f64 / base_tree.cost(src).unwrap() as f64);
                 }
             }
         }
@@ -144,12 +139,8 @@ pub fn discriminator_ablation(
     [DiscriminatorKind::Hops, DiscriminatorKind::WeightedCost]
         .into_iter()
         .map(|kind| {
-            let net = PrNetwork::compile(
-                graph,
-                embedding.clone(),
-                PrMode::DistanceDiscriminator,
-                kind,
-            );
+            let net =
+                PrNetwork::compile(graph, embedding.clone(), PrMode::DistanceDiscriminator, kind);
             let agent = net.agent(graph);
             let ttl = generous_ttl(graph);
             let mut evaluated = 0u64;
@@ -174,9 +165,8 @@ pub fn discriminator_ablation(
                         let w = walk_packet(graph, &agent, src, dst, &failed, ttl);
                         if let WalkResult::Delivered = w.result {
                             delivered += 1;
-                            stretches.push(
-                                w.cost(graph) as f64 / base_tree.cost(src).unwrap() as f64,
-                            );
+                            stretches
+                                .push(w.cost(graph) as f64 / base_tree.cost(src).unwrap() as f64);
                         }
                     }
                 }
@@ -225,14 +215,11 @@ pub fn genus_delivery(
         let rot = RotationSystem::random(graph, &mut rng);
         let emb = CellularEmbedding::new(graph, rot).expect("connected topology");
         let g = emb.genus();
-        let net = PrNetwork::compile(
-            graph,
-            emb,
-            PrMode::DistanceDiscriminator,
-            DiscriminatorKind::Hops,
-        );
+        let net =
+            PrNetwork::compile(graph, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
         let agent = net.agent(graph);
-        let row = bins.entry(g).or_insert_with(|| GenusDeliveryRow { genus: g, ..Default::default() });
+        let row =
+            bins.entry(g).or_insert_with(|| GenusDeliveryRow { genus: g, ..Default::default() });
         row.embeddings += 1;
         for s in 0..scenarios_per_rotation {
             let failed = crate::scenario::random_connected_failures(
@@ -264,7 +251,8 @@ mod tests {
 
     #[test]
     fn embedding_ablation_orders_heuristics() {
-        let g = pr_topologies::load(pr_topologies::Isp::Abilene, pr_topologies::Weighting::Distance);
+        let g =
+            pr_topologies::load(pr_topologies::Isp::Abilene, pr_topologies::Weighting::Distance);
         let rows = embedding_ablation(&g, 7);
         assert!(rows.len() >= 3);
         let thorough = rows.iter().find(|r| r.heuristic == "thorough").unwrap();
@@ -278,7 +266,8 @@ mod tests {
 
     #[test]
     fn discriminator_ablation_shows_bit_cost_difference() {
-        let g = pr_topologies::load(pr_topologies::Isp::Abilene, pr_topologies::Weighting::Distance);
+        let g =
+            pr_topologies::load(pr_topologies::Isp::Abilene, pr_topologies::Weighting::Distance);
         let rot = pr_embedding::heuristics::thorough(&g, 1, 4, 10_000);
         let emb = CellularEmbedding::new(&g, rot).unwrap();
         let rows = discriminator_ablation(&g, &emb, 2, 5, 11);

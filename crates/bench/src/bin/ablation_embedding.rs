@@ -11,12 +11,20 @@ fn main() {
     for isp in Isp::ALL {
         let graph = pr_topologies::load(isp, Weighting::Distance);
         println!("{isp}:");
-        println!("  heuristic             genus  faces  max-face  mean-stretch  max-stretch  delivery");
+        println!(
+            "  heuristic             genus  faces  max-face  mean-stretch  max-stretch  delivery"
+        );
         let rows = ablation::embedding_ablation(&graph, EXPERIMENT_SEED);
         for r in &rows {
             println!(
                 "  {:<21} {:>5}  {:>5}  {:>8}  {:>12.3}  {:>11.3}  {:>8.4}",
-                r.heuristic, r.genus, r.faces, r.max_face, r.mean_stretch, r.max_stretch, r.delivery
+                r.heuristic,
+                r.genus,
+                r.faces,
+                r.max_face,
+                r.mean_stretch,
+                r.max_stretch,
+                r.delivery
             );
         }
         all.push((isp.name(), rows));

@@ -13,7 +13,11 @@ fn main() {
     let mut all = Vec::new();
 
     let mut run = |name: &str, graph: &pr_graph::Graph, failures: usize| {
-        println!("{name} ({} nodes / {} links, {failures} failures per scenario):", graph.node_count(), graph.link_count());
+        println!(
+            "{name} ({} nodes / {} links, {failures} failures per scenario):",
+            graph.node_count(),
+            graph.link_count()
+        );
         println!("  genus  embeddings  evaluated  delivered  rate");
         let rows = ablation::genus_delivery(graph, 60, failures, 5, EXPERIMENT_SEED);
         for r in &rows {

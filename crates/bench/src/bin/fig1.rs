@@ -3,8 +3,7 @@
 //! header state at each step.
 
 use pr_core::{
-    generous_ttl, DiscriminatorKind, ForwardDecision, ForwardingAgent, PrHeader, PrMode,
-    PrNetwork,
+    generous_ttl, DiscriminatorKind, ForwardDecision, ForwardingAgent, PrHeader, PrMode, PrNetwork,
 };
 use pr_embedding::{CellularEmbedding, RotationSystem};
 use pr_graph::{Graph, LinkSet, NodeId};
@@ -13,7 +12,8 @@ fn main() {
     let (graph, orders) = pr_topologies::figure1();
     let rot = RotationSystem::from_neighbor_orders(&graph, &orders).expect("figure-1 orders");
     let emb = CellularEmbedding::new(&graph, rot).expect("connected");
-    let net = PrNetwork::compile(&graph, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
+    let net =
+        PrNetwork::compile(&graph, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
 
     let n = |s: &str| graph.node_by_name(s).unwrap();
     let de = graph.find_link(n("D"), n("E")).unwrap();
@@ -32,8 +32,11 @@ fn main() {
     println!("\n=== Figure 1(c) under basic mode: the forwarding loop §4.3 fixes ===");
     let basic = PrNetwork::compile(
         &graph,
-        CellularEmbedding::new(&graph, RotationSystem::from_neighbor_orders(&graph, &orders).unwrap())
-            .unwrap(),
+        CellularEmbedding::new(
+            &graph,
+            RotationSystem::from_neighbor_orders(&graph, &orders).unwrap(),
+        )
+        .unwrap(),
         PrMode::Basic,
         DiscriminatorKind::Hops,
     );

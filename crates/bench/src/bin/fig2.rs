@@ -61,8 +61,7 @@ fn main() {
 
             // Panels (d)-(f): k concurrent failures, sampled.
             let k = isp.paper_multi_failure_count();
-            let multi =
-                scenario::sampled_multi_failures(&graph, k, MULTI_SAMPLES, EXPERIMENT_SEED);
+            let multi = scenario::sampled_multi_failures(&graph, k, MULTI_SAMPLES, EXPERIMENT_SEED);
             let s_multi = stretch::run(&graph, &pr, &multi);
             write_result(
                 &format!("fig2_{isp}_multi{suffix}.csv"),

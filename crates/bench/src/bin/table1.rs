@@ -8,8 +8,8 @@ use pr_embedding::{CellularEmbedding, RotationSystem};
 
 fn main() {
     let (graph, orders) = pr_topologies::figure1();
-    let rot = RotationSystem::from_neighbor_orders(&graph, &orders)
-        .expect("figure-1 orders are valid");
+    let rot =
+        RotationSystem::from_neighbor_orders(&graph, &orders).expect("figure-1 orders are valid");
     let emb = CellularEmbedding::new(&graph, rot).expect("figure-1 graph is connected");
 
     println!("=== The cellular cycle system of Figure 1(a) ===");
@@ -28,11 +28,12 @@ fn main() {
         if node == d {
             continue;
         }
-        print!("{}\n", table.display_at(&graph, &emb, node));
+        println!("{}", table.display_at(&graph, &emb, node));
     }
 
     // Also show the §4.3 routing-table DD column for destination F.
-    let net = PrNetwork::compile(&graph, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
+    let net =
+        PrNetwork::compile(&graph, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
     let f = graph.node_by_name("F").expect("node F exists");
     println!("=== Distance discriminator column towards F (hops) ===");
     for node in graph.nodes() {

@@ -5,9 +5,7 @@
 use serde::Serialize;
 
 use pr_baselines::{FcpAgent, LfaAgent, NotViaAgent};
-use pr_core::{
-    generous_ttl, walk_packet, DiscriminatorKind, PrMode, PrNetwork, WalkResult,
-};
+use pr_core::{generous_ttl, walk_packet, DiscriminatorKind, PrMode, PrNetwork, WalkResult};
 use pr_embedding::CellularEmbedding;
 use pr_graph::{Graph, SpTree};
 
@@ -58,7 +56,8 @@ pub fn run(
     samples_per_count: usize,
     seed: u64,
 ) -> Vec<CoverageRow> {
-    let pr_basic = PrNetwork::compile(graph, embedding.clone(), PrMode::Basic, DiscriminatorKind::Hops);
+    let pr_basic =
+        PrNetwork::compile(graph, embedding.clone(), PrMode::Basic, DiscriminatorKind::Hops);
     let pr_dd = PrNetwork::compile(
         graph,
         embedding.clone(),
@@ -95,8 +94,7 @@ pub fn run(
                     if src == dst {
                         continue;
                     }
-                    let base_path =
-                        base_tree.path_darts(graph, src).expect("connected base graph");
+                    let base_path = base_tree.path_darts(graph, src).expect("connected base graph");
                     if !base_path.iter().any(|d| failed.contains_dart(*d)) {
                         continue;
                     }
@@ -104,11 +102,20 @@ pub fn run(
                         continue; // "| path" conditioning
                     }
                     for (cell, delivered) in [
-                        (&mut row.pr_basic, walk_packet(graph, &basic_agent, src, dst, failed, ttl).result),
-                        (&mut row.pr_dd, walk_packet(graph, &dd_agent, src, dst, failed, ttl).result),
+                        (
+                            &mut row.pr_basic,
+                            walk_packet(graph, &basic_agent, src, dst, failed, ttl).result,
+                        ),
+                        (
+                            &mut row.pr_dd,
+                            walk_packet(graph, &dd_agent, src, dst, failed, ttl).result,
+                        ),
                         (&mut row.fcp, walk_packet(graph, &fcp, src, dst, failed, ttl).result),
                         (&mut row.lfa, walk_packet(graph, &lfa, src, dst, failed, ttl).result),
-                        (&mut row.notvia, walk_packet(graph, &notvia, src, dst, failed, ttl).result),
+                        (
+                            &mut row.notvia,
+                            walk_packet(graph, &notvia, src, dst, failed, ttl).result,
+                        ),
                     ] {
                         cell.evaluated += 1;
                         if matches!(delivered, WalkResult::Delivered) {
@@ -148,7 +155,8 @@ mod tests {
 
     #[test]
     fn abilene_coverage_matches_paper_claims() {
-        let g = pr_topologies::load(pr_topologies::Isp::Abilene, pr_topologies::Weighting::Distance);
+        let g =
+            pr_topologies::load(pr_topologies::Isp::Abilene, pr_topologies::Weighting::Distance);
         let rot = pr_embedding::heuristics::thorough(&g, 2010, 4, 10_000);
         let emb = CellularEmbedding::new(&g, rot).unwrap();
         assert_eq!(emb.genus(), 0);

@@ -113,7 +113,8 @@ mod tests {
     fn abilene_overheads_match_paper_sizing() {
         // Distance weighting so the weighted-cost discriminator really
         // differs from hop counts.
-        let g = pr_topologies::load(pr_topologies::Isp::Abilene, pr_topologies::Weighting::Distance);
+        let g =
+            pr_topologies::load(pr_topologies::Isp::Abilene, pr_topologies::Weighting::Distance);
         let rot = pr_embedding::heuristics::thorough(&g, 1, 4, 10_000);
         let emb = CellularEmbedding::new(&g, rot).unwrap();
         let r = report("abilene", &g, &emb);

@@ -9,10 +9,7 @@ use pr_graph::{algo, Graph, LinkId, LinkSet};
 /// Every single-link failure scenario of `graph` (exhaustive — this is
 /// what Figure 2(a–c) sweeps).
 pub fn all_single_failures(graph: &Graph) -> Vec<LinkSet> {
-    graph
-        .links()
-        .map(|l| LinkSet::from_links(graph.link_count(), [l]))
-        .collect()
+    graph.links().map(|l| LinkSet::from_links(graph.link_count(), [l])).collect()
 }
 
 /// Samples a random non-disconnecting failure set of exactly `k` links
@@ -36,7 +33,12 @@ pub fn random_connected_failures(graph: &Graph, k: usize, seed: u64) -> LinkSet 
 }
 
 /// `count` sampled multi-failure scenarios (Figure 2(d–f) style).
-pub fn sampled_multi_failures(graph: &Graph, k: usize, count: usize, base_seed: u64) -> Vec<LinkSet> {
+pub fn sampled_multi_failures(
+    graph: &Graph,
+    k: usize,
+    count: usize,
+    base_seed: u64,
+) -> Vec<LinkSet> {
     (0..count)
         .map(|i| random_connected_failures(graph, k, base_seed.wrapping_add(i as u64)))
         .collect()
@@ -70,10 +72,7 @@ mod tests {
     #[test]
     fn sampling_is_deterministic() {
         let g = generators::complete(7, 1);
-        assert_eq!(
-            random_connected_failures(&g, 5, 3),
-            random_connected_failures(&g, 5, 3)
-        );
+        assert_eq!(random_connected_failures(&g, 5, 3), random_connected_failures(&g, 5, 3));
     }
 
     #[test]

@@ -220,7 +220,8 @@ mod tests {
 
     #[test]
     fn abilene_single_failures_have_expected_shape() {
-        let g = pr_topologies::load(pr_topologies::Isp::Abilene, pr_topologies::Weighting::Distance);
+        let g =
+            pr_topologies::load(pr_topologies::Isp::Abilene, pr_topologies::Weighting::Distance);
         let pr = compile_pr(&g);
         let scenarios = scenario::all_single_failures(&g);
         let samples = run(&g, &pr, &scenarios);
@@ -232,11 +233,8 @@ mod tests {
 
         // Shape: reconvergence ≤ FCP ≤ PR in the mean.
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-        let (mr, mf, mp) = (
-            mean(&samples.reconvergence),
-            mean(&samples.fcp),
-            mean(&samples.packet_recycling),
-        );
+        let (mr, mf, mp) =
+            (mean(&samples.reconvergence), mean(&samples.fcp), mean(&samples.packet_recycling));
         assert!(mr <= mf + 1e-12, "reconvergence {mr} > fcp {mf}");
         assert!(mf <= mp + 1e-12, "fcp {mf} > pr {mp}");
         assert!(mr >= 1.0);
@@ -264,10 +262,12 @@ mod tests {
 
     #[test]
     fn panel_csv_has_header_and_rows() {
-        let mut s = StretchSamples::default();
-        s.reconvergence = vec![1.0, 1.2];
-        s.fcp = vec![1.1, 1.4];
-        s.packet_recycling = vec![1.3, 2.0];
+        let s = StretchSamples {
+            reconvergence: vec![1.0, 1.2],
+            fcp: vec![1.1, 1.4],
+            packet_recycling: vec![1.3, 2.0],
+            ..Default::default()
+        };
         let xs = [1.0, 1.5];
         let csv = panel_csv(&s, &xs);
         let lines: Vec<&str> = csv.lines().collect();
@@ -278,10 +278,12 @@ mod tests {
 
     #[test]
     fn summary_quantiles() {
-        let mut s = StretchSamples::default();
-        s.reconvergence = vec![1.0; 100];
-        s.fcp = (0..100).map(|i| 1.0 + i as f64 / 100.0).collect();
-        s.packet_recycling = vec![3.0; 100];
+        let s = StretchSamples {
+            reconvergence: vec![1.0; 100],
+            fcp: (0..100).map(|i| 1.0 + i as f64 / 100.0).collect(),
+            packet_recycling: vec![3.0; 100],
+            ..Default::default()
+        };
         let sum = summarize(&s);
         assert_eq!(sum.median[0], 1.0);
         assert!((sum.median[1] - 1.495).abs() < 0.01);

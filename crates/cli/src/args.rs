@@ -64,11 +64,6 @@ impl Args {
         self.positional.get(i).map(String::as_str).ok_or(ArgError::MissingPositional(name))
     }
 
-    /// The `i`-th positional argument, optional.
-    pub fn positional_opt(&self, i: usize) -> Option<&str> {
-        self.positional.get(i).map(String::as_str)
-    }
-
     /// Last occurrence of `--name`, if present.
     pub fn option(&self, name: &str) -> Option<&str> {
         self.options.get(name).and_then(|v| v.last()).map(String::as_str)
@@ -121,7 +116,6 @@ mod tests {
     fn missing_positional_is_an_error() {
         let a = args("").unwrap();
         assert_eq!(a.positional(0, "topology"), Err(ArgError::MissingPositional("topology")));
-        assert_eq!(a.positional_opt(0), None);
     }
 
     #[test]

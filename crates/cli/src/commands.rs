@@ -27,11 +27,22 @@ type CmdResult = Result<(), Box<dyn std::error::Error>>;
 
 /// Loads a topology by name or `.topo` file path. `figure1` comes with
 /// its canonical rotation; other topologies get `None`.
-fn load_topology(spec: &str) -> Result<(Graph, Option<RotationSystem>), Box<dyn std::error::Error>> {
+fn load_topology(
+    spec: &str,
+) -> Result<(Graph, Option<RotationSystem>), Box<dyn std::error::Error>> {
     match spec {
-        "abilene" => Ok((pr_topologies::load(pr_topologies::Isp::Abilene, pr_topologies::Weighting::Distance), None)),
-        "teleglobe" => Ok((pr_topologies::load(pr_topologies::Isp::Teleglobe, pr_topologies::Weighting::Distance), None)),
-        "geant" => Ok((pr_topologies::load(pr_topologies::Isp::Geant, pr_topologies::Weighting::Distance), None)),
+        "abilene" => Ok((
+            pr_topologies::load(pr_topologies::Isp::Abilene, pr_topologies::Weighting::Distance),
+            None,
+        )),
+        "teleglobe" => Ok((
+            pr_topologies::load(pr_topologies::Isp::Teleglobe, pr_topologies::Weighting::Distance),
+            None,
+        )),
+        "geant" => Ok((
+            pr_topologies::load(pr_topologies::Isp::Geant, pr_topologies::Weighting::Distance),
+            None,
+        )),
         "figure1" => {
             let (g, orders) = pr_topologies::figure1();
             let rot = RotationSystem::from_neighbor_orders(&g, &orders)?;
@@ -75,13 +86,10 @@ fn node_by_name(graph: &Graph, name: &str) -> Result<NodeId, String> {
 fn parse_failures(graph: &Graph, args: &Args) -> Result<LinkSet, String> {
     let mut failed = LinkSet::empty(graph.link_count());
     for spec in args.options("fail") {
-        let (a, b) = spec
-            .split_once('-')
-            .ok_or_else(|| format!("--fail wants A-B, got {spec:?}"))?;
+        let (a, b) =
+            spec.split_once('-').ok_or_else(|| format!("--fail wants A-B, got {spec:?}"))?;
         let (na, nb) = (node_by_name(graph, a)?, node_by_name(graph, b)?);
-        let link = graph
-            .find_link(na, nb)
-            .ok_or_else(|| format!("no link between {a} and {b}"))?;
+        let link = graph.find_link(na, nb).ok_or_else(|| format!("no link between {a} and {b}"))?;
         failed.insert(link);
     }
     Ok(failed)
@@ -119,7 +127,11 @@ pub fn embed(args: &Args) -> CmdResult {
     println!("max face:  {} darts", emb.faces().max_face_size());
     println!(
         "planar:    {}",
-        if emb.genus() == 0 { "yes (delivery guarantee applies)" } else { "no (see DESIGN.md findings)" }
+        if emb.genus() == 0 {
+            "yes (delivery guarantee applies)"
+        } else {
+            "no (see DESIGN.md findings)"
+        }
     );
     println!("\ncycle system:");
     for (f, boundary) in emb.faces().iter() {
@@ -137,11 +149,10 @@ pub fn tables(args: &Args) -> CmdResult {
     let (graph, canonical) = load_topology(args.positional(0, "topology")?)?;
     let node = node_by_name(&graph, args.positional(1, "node")?)?;
     let emb = resolve_embedding(&graph, canonical, args)?;
-    let net = PrNetwork::compile(&graph, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
+    let net =
+        PrNetwork::compile(&graph, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
     print!("{}", net.cycle_table().display_at(&graph, net.embedding(), node));
-    println!(
-        "\nrouting table extract (destination, next hop, DD[hops]):"
-    );
+    println!("\nrouting table extract (destination, next hop, DD[hops]):");
     for dest in graph.nodes() {
         if dest == node {
             continue;
@@ -181,7 +192,12 @@ pub fn walk(args: &Args) -> CmdResult {
         let optimal = SpTree::towards_all_live(&graph, dst).cost(src).unwrap_or(0);
         let taken: u64 = trace.darts().iter().map(|d| u64::from(graph.weight(d.link()))).sum();
         if optimal > 0 {
-            println!("stretch: {:.3} ({} vs optimal {})", taken as f64 / optimal as f64, taken, optimal);
+            println!(
+                "stretch: {:.3} ({} vs optimal {})",
+                taken as f64 / optimal as f64,
+                taken,
+                optimal
+            );
         }
     }
     Ok(())
@@ -195,7 +211,8 @@ pub fn stretch(args: &Args) -> CmdResult {
     let seed: u64 = args.option_or("seed", 2010)?;
     let emb = resolve_embedding(&graph, canonical, args)?;
     println!("embedding genus {}", emb.genus());
-    let net = PrNetwork::compile(&graph, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
+    let net =
+        PrNetwork::compile(&graph, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
     let pr = net.agent(&graph);
     let fcp = FcpAgent::new(&graph);
     let ttl = generous_ttl(&graph);
@@ -262,7 +279,12 @@ pub fn stretch(args: &Args) -> CmdResult {
         scenarios.len(),
         failures
     );
-    println!("mean stretch:  reconvergence {:.3}  fcp {:.3}  packet-recycling {:.3}", mean(&rc), mean(&fc), mean(&pc));
+    println!(
+        "mean stretch:  reconvergence {:.3}  fcp {:.3}  packet-recycling {:.3}",
+        mean(&rc),
+        mean(&fc),
+        mean(&pc)
+    );
     for x in [1.0, 2.0, 3.0, 5.0, 10.0, 15.0] {
         let p = |v: &Vec<f64>| v.iter().filter(|&&s| s > x).count() as f64 / v.len().max(1) as f64;
         println!("P(stretch>{x:>4}): {:>12.4}  {:>8.4}  {:>8.4}", p(&rc), p(&fc), p(&pc));

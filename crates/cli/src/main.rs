@@ -47,7 +47,7 @@ fn main() {
         }
     };
     if let Err(e) = result {
-        eprintln!("error: {e}");
+        eprintln!("error: {e}\n\n{}", commands::USAGE);
         std::process::exit(1);
     }
 }

@@ -1,0 +1,84 @@
+//! Smoke tests invoking the real `pr-cli` binary: exit codes, help
+//! text, error paths, and one end-to-end walk on the Figure 1 fixture.
+
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_pr-cli")).args(args).output().expect("pr-cli binary runs")
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+#[test]
+fn help_prints_usage_and_exits_zero() {
+    for flag in ["--help", "-h", "help"] {
+        let out = run(&[flag]);
+        assert!(out.status.success(), "{flag} must exit 0");
+        assert!(stdout(&out).contains("USAGE"), "{flag} must print usage");
+        assert!(stdout(&out).contains("pr info"), "{flag} must list subcommands");
+    }
+}
+
+#[test]
+fn no_arguments_is_an_error_with_usage() {
+    let out = run(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("USAGE"));
+}
+
+#[test]
+fn unknown_subcommand_is_an_error_with_usage() {
+    let out = run(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("unknown subcommand"));
+    assert!(err.contains("USAGE"));
+}
+
+#[test]
+fn missing_positional_is_an_error_with_usage() {
+    let out = run(&["info"]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr(&out);
+    assert!(err.contains("missing required argument"));
+    assert!(err.contains("USAGE"));
+}
+
+#[test]
+fn unknown_node_is_an_error_with_usage() {
+    let out = run(&["walk", "figure1", "A", "Z"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("unknown node"));
+}
+
+#[test]
+fn bad_option_value_is_an_error() {
+    let out = run(&["walk", "figure1", "A", "F", "--mode", "turbo"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("turbo"));
+}
+
+#[test]
+fn info_runs_on_every_named_topology() {
+    for topo in ["abilene", "teleglobe", "geant", "figure1"] {
+        let out = run(&["info", topo]);
+        assert!(out.status.success(), "info {topo} failed: {}", stderr(&out));
+        assert!(stdout(&out).contains("2-edge-connected:   true"), "{topo} must be protectable");
+    }
+}
+
+#[test]
+fn walk_delivers_around_a_failure_end_to_end() {
+    // The paper's §4.3 walkthrough: A -> F on Figure 1 with D-E down.
+    let out = run(&["walk", "figure1", "A", "F", "--fail", "D-E"]);
+    assert!(out.status.success(), "walk failed: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("DELIVERED at F"), "packet must be delivered:\n{text}");
+    assert!(text.contains("stretch:"), "stretch must be reported:\n{text}");
+}

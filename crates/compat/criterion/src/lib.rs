@@ -1,0 +1,260 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the benchmarking surface this workspace's `benches/`
+//! use: [`criterion_group!`]/[`criterion_main!`], benchmark groups,
+//! [`BenchmarkId`], [`Bencher::iter`] and [`black_box`]. Measurement
+//! is a self-calibrating wall-clock loop (geared to ~100 ms per
+//! benchmark) reporting the median per-iteration time — no warmup
+//! phases, statistics engine, or HTML reports.
+//!
+//! Results are printed one line per benchmark in a stable,
+//! machine-parseable format:
+//!
+//! ```text
+//! bench: <group>/<name>[/<param>] ... <median> ns/iter (<samples> samples)
+//! ```
+
+#![warn(rust_2018_idioms)]
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Target wall-clock budget per benchmark, nanoseconds.
+const TARGET_SAMPLE_NS: u128 = 100_000_000;
+
+/// Upper bound on measurement samples per benchmark.
+const MAX_SAMPLES: usize = 25;
+
+/// The harness entry point handed to each registered bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), _criterion: self }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into_benchmark_id().render(None), f);
+        self
+    }
+}
+
+/// A named collection of benchmarks (prefixes every line it prints).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into_benchmark_id().render(Some(&self.name)), f);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&id.into_benchmark_id().render(Some(&self.name)), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream writes reports here; this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with a parameter, rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { name: name.into(), parameter: Some(parameter.to_string()) }
+    }
+
+    /// An id carrying only the parameter (unused here, kept for API
+    /// compatibility).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { name: String::new(), parameter: Some(parameter.to_string()) }
+    }
+
+    fn render(&self, group: Option<&str>) -> String {
+        let mut out = String::new();
+        if let Some(g) = group {
+            out.push_str(g);
+            out.push('/');
+        }
+        out.push_str(&self.name);
+        if let Some(p) = &self.parameter {
+            if !self.name.is_empty() {
+                out.push('/');
+            }
+            out.push_str(p);
+        }
+        out
+    }
+}
+
+/// Conversion into [`BenchmarkId`] (`&str`, `String`, or the id
+/// itself), mirroring criterion's `IntoBenchmarkId`.
+pub trait IntoBenchmarkId {
+    /// The conversion.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { name: self.to_string(), parameter: None }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { name: self, parameter: None }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, first calibrating how many iterations fit the
+    /// per-benchmark budget, then collecting per-sample medians.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate: grow the batch until it takes ≥ ~1 ms.
+        let mut iters: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = t0.elapsed().as_nanos();
+            if elapsed >= 1_000_000 || iters >= 1 << 30 {
+                self.iters_per_sample = iters;
+                // Measurement: spend the remaining budget on samples.
+                let per_sample = elapsed.max(1);
+                let samples = ((TARGET_SAMPLE_NS / per_sample) as usize).clamp(3, MAX_SAMPLES);
+                self.samples.clear();
+                for _ in 0..samples {
+                    let t0 = Instant::now();
+                    for _ in 0..iters {
+                        black_box(routine());
+                    }
+                    self.samples.push(t0.elapsed().as_nanos() as f64 / iters as f64);
+                }
+                return;
+            }
+            iters = iters.saturating_mul(4);
+        }
+    }
+
+    fn median_ns(&self) -> f64 {
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        if sorted.is_empty() {
+            return f64::NAN;
+        }
+        sorted[sorted.len() / 2]
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, mut f: F) {
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("bench: {label} ... no measurement (routine never called iter)");
+        return;
+    }
+    println!(
+        "bench: {label} ... {:.1} ns/iter ({} samples of {} iters)",
+        bencher.median_ns(),
+        bencher.samples.len(),
+        bencher.iters_per_sample,
+    );
+}
+
+/// Registers benchmark functions under a group entry point, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups, mirroring criterion's
+/// macro of the same name. Ignores harness CLI arguments (`--bench`
+/// etc.) like a real bench binary must tolerate.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        let mut group = c.benchmark_group("compat");
+        group.bench_function("noop", |b| b.iter(|| black_box(1u64 + 1)));
+        group.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, quick);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+
+    #[test]
+    fn id_rendering() {
+        assert_eq!(BenchmarkId::new("a", "p").render(Some("g")), "g/a/p");
+        assert_eq!("plain".into_benchmark_id().render(Some("g")), "g/plain");
+        assert_eq!(BenchmarkId::from_parameter(3).render(None), "3");
+    }
+}

@@ -1,0 +1,450 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Generates `impl serde::Serialize` / `impl serde::Deserialize` for
+//! structs and enums by lowering to / rebuilding from `serde::Value`.
+//! Parsing is hand-rolled over `proc_macro::TokenStream` (the build
+//! environment has no `syn`/`quote`), which bounds the supported
+//! shapes to what this workspace uses:
+//!
+//! * structs with named fields, tuple structs, unit structs;
+//! * enums with unit, tuple and struct variants;
+//! * the `#[serde(transparent)]` container attribute;
+//! * no generic type or lifetime parameters.
+//!
+//! External representation matches serde's JSON defaults: structs are
+//! objects, one-field tuple structs are their inner value, unit enum
+//! variants are strings, data-carrying variants are `{"Variant": ...}`
+//! single-key objects.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let ty = parse_type(input);
+    gen_serialize(&ty).parse().expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let ty = parse_type(input);
+    gen_deserialize(&ty).parse().expect("serde_derive generated invalid Deserialize impl")
+}
+
+// ---- input model ---------------------------------------------------
+
+enum Body {
+    /// `struct S { a: A, b: B }`
+    NamedStruct(Vec<String>),
+    /// `struct S(A, B);` — field count only.
+    TupleStruct(usize),
+    /// `struct S;`
+    UnitStruct,
+    /// `enum E { ... }`
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct TypeDef {
+    name: String,
+    transparent: bool,
+    body: Body,
+}
+
+// ---- parsing -------------------------------------------------------
+
+fn parse_type(input: TokenStream) -> TypeDef {
+    let mut tokens = input.into_iter().peekable();
+    let mut transparent = false;
+
+    // Container attributes and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.next() {
+                    if attr_is_serde_transparent(g.stream()) {
+                        transparent = true;
+                    }
+                } else {
+                    panic!("serde_derive: malformed attribute");
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                // Optional `(crate)` / `(in path)` restriction.
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic types are not supported (type `{name}`)");
+        }
+    }
+
+    let body = match keyword.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+            other => panic!("serde_derive: malformed struct `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: malformed enum `{name}`: {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+
+    TypeDef { name, transparent, body }
+}
+
+/// Recognises `serde(transparent)` inside an attribute's `[...]` group.
+fn attr_is_serde_transparent(stream: TokenStream) -> bool {
+    let mut tokens = stream.into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(g)) => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "transparent")),
+        _ => false,
+    }
+}
+
+/// `a: A, b: B, ...` — returns the field names in declaration order.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let Some(tree) = tokens.next() else { break };
+        let TokenTree::Ident(field) = tree else {
+            panic!("serde_derive: expected field name, found {tree:?}");
+        };
+        fields.push(field.to_string());
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field, found {other:?}"),
+        }
+        skip_type(&mut tokens);
+    }
+    fields
+}
+
+/// `A, B, ...` — returns how many fields a tuple struct/variant has.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut tokens = stream.into_iter().peekable();
+    let mut count = 0;
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        count += 1;
+        skip_type(&mut tokens);
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let Some(tree) = tokens.next() else { break };
+        let TokenTree::Ident(variant) = tree else {
+            panic!("serde_derive: expected variant name, found {tree:?}");
+        };
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                tokens.next();
+                VariantShape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let names = parse_named_fields(g.stream());
+                tokens.next();
+                VariantShape::Named(names)
+            }
+            _ => VariantShape::Unit,
+        };
+        variants.push(Variant { name: variant.to_string(), shape });
+        // Optional trailing comma (discriminants are unsupported).
+        if let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == ',' {
+                tokens.next();
+            } else if p.as_char() == '=' {
+                panic!("serde_derive: explicit enum discriminants are not supported");
+            }
+        }
+    }
+    variants
+}
+
+fn skip_attrs_and_vis(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the `[...]` group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Consumes one type, i.e. everything up to the next `,` at
+/// angle-bracket depth 0 (the comma itself is consumed too).
+fn skip_type(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut depth = 0i32;
+    for tree in tokens.by_ref() {
+        if let TokenTree::Punct(p) = &tree {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+// ---- code generation ----------------------------------------------
+
+fn gen_serialize(ty: &TypeDef) -> String {
+    let name = &ty.name;
+    let body = match &ty.body {
+        Body::NamedStruct(fields) if ty.transparent && fields.len() == 1 => {
+            format!("::serde::Serialize::to_value(&self.{})", fields[0])
+        }
+        Body::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Body::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Body::UnitStruct => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(::std::string::String::from(\"{vname}\"))"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "{name}::{vname}(x0) => ::serde::Value::Object(vec![(::std::string::String::from(\"{vname}\"), ::serde::Serialize::to_value(x0))])"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let binders: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(x{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(vec![(::std::string::String::from(\"{vname}\"), ::serde::Value::Array(vec![{}]))])",
+                                binders.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantShape::Named(fields) => {
+                            let binders = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binders} }} => ::serde::Value::Object(vec![(::std::string::String::from(\"{vname}\"), ::serde::Value::Object(vec![{}]))])",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+           fn to_value(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+}
+
+fn gen_deserialize(ty: &TypeDef) -> String {
+    let name = &ty.name;
+    let body = match &ty.body {
+        Body::NamedStruct(fields) if ty.transparent && fields.len() == 1 => {
+            format!("Ok({name} {{ {}: ::serde::Deserialize::from_value(value)? }})", fields[0])
+        }
+        Body::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_value(value.get_field(\"{f}\")?)?")
+                })
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Body::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(value)?))")
+        }
+        Body::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match value {{ \
+                   ::serde::Value::Array(items) if items.len() == {n} => Ok({name}({})), \
+                   other => Err(::serde::DeError(format!(\
+                       \"expected array of {n} for {name}, found {{}}\", other.kind()))) \
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Body::UnitStruct => format!("Ok({name})"),
+        Body::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| format!("\"{0}\" => Ok({name}::{0})", v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => None,
+                        VariantShape::Tuple(1) => Some(format!(
+                            "\"{vname}\" => Ok({name}::{vname}(::serde::Deserialize::from_value(inner)?))"
+                        )),
+                        VariantShape::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&items[{i}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => match inner {{ \
+                                   ::serde::Value::Array(items) if items.len() == {n} => \
+                                     Ok({name}::{vname}({})), \
+                                   other => Err(::serde::DeError(format!(\
+                                     \"expected array of {n} for {name}::{vname}, found {{}}\", \
+                                     other.kind()))) \
+                                 }}",
+                                inits.join(", ")
+                            ))
+                        }
+                        VariantShape::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(inner.get_field(\"{f}\")?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => Ok({name}::{vname} {{ {} }})",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match value {{ \
+                   ::serde::Value::Str(s) => match s.as_str() {{ \
+                     {unit} \
+                     other => Err(::serde::DeError(format!(\
+                       \"unknown {name} variant {{other:?}}\"))), \
+                   }}, \
+                   ::serde::Value::Object(entries) if entries.len() == 1 => {{ \
+                     let (tag, _inner) = &entries[0]; let inner = _inner; let _ = inner; \
+                     match tag.as_str() {{ \
+                       {data} \
+                       other => Err(::serde::DeError(format!(\
+                         \"unknown {name} variant {{other:?}}\"))), \
+                     }} \
+                   }}, \
+                   other => Err(::serde::DeError(format!(\
+                     \"expected {name} variant, found {{}}\", other.kind()))), \
+                 }}",
+                unit = if unit_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", unit_arms.join(", "))
+                },
+                data = if data_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", data_arms.join(", "))
+                },
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+           fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }} \
+         }}"
+    )
+}

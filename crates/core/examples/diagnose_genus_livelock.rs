@@ -6,9 +6,7 @@
 //! graph, recording for each its genus and whether any (src, dst) pair
 //! livelocks. Prints the contingency table.
 
-use pr_core::{
-    generous_ttl, walk_packet, DiscriminatorKind, PrMode, PrNetwork, WalkResult,
-};
+use pr_core::{generous_ttl, walk_packet, DiscriminatorKind, PrMode, PrNetwork, WalkResult};
 use pr_embedding::{genus, CellularEmbedding, FaceStructure, RotationSystem};
 use pr_graph::{Dart, Graph, LinkSet, NodeId};
 
@@ -44,7 +42,7 @@ fn main() {
     let mut orders = base.clone();
     let mut stats: std::collections::BTreeMap<u32, (u64, u64)> = Default::default();
     let mut example_loop: Option<(u32, Vec<Vec<Dart>>)> = None;
-    enumerate(&g, &base, &mut orders, 0, &mut |orders| {
+    enumerate(&base, &mut orders, 0, &mut |orders| {
         let rot = RotationSystem::from_orders(&g, orders).unwrap();
         let gen = genus(&g, &FaceStructure::trace(&g, &rot)).unwrap();
         let emb = CellularEmbedding::new(&g, rot).unwrap();
@@ -82,17 +80,14 @@ fn main() {
     if let Some((gen, orders)) = example_loop {
         println!("\nfirst livelocking rotation (genus {gen}):");
         for (i, o) in orders.iter().enumerate() {
-            let names: Vec<String> = o
-                .iter()
-                .map(|&d| format!("{}->{}", g.dart_tail(d).0, g.dart_head(d).0))
-                .collect();
+            let names: Vec<String> =
+                o.iter().map(|&d| format!("{}->{}", g.dart_tail(d).0, g.dart_head(d).0)).collect();
             println!("  node {i}: {}", names.join(", "));
         }
     }
 }
 
 fn enumerate(
-    g: &Graph,
     base: &[Vec<Dart>],
     orders: &mut Vec<Vec<Dart>>,
     node: usize,
@@ -104,7 +99,7 @@ fn enumerate(
     }
     let degree = base[node].len();
     if degree <= 2 {
-        enumerate(g, base, orders, node + 1, visit);
+        enumerate(base, orders, node + 1, visit);
         return;
     }
     let mut idx: Vec<usize> = (1..degree).collect();
@@ -113,7 +108,7 @@ fn enumerate(
         for (slot, &src) in p.iter().enumerate() {
             orders[node][slot + 1] = base[node][src];
         }
-        enumerate(g, base, orders, node + 1, visit);
+        enumerate(base, orders, node + 1, visit);
     });
 }
 

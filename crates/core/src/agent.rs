@@ -457,10 +457,7 @@ mod tests {
         let ingress = g.find_dart(NodeId(1), NodeId(2)).unwrap();
         let mut state = PrHeader { pr: true, dd: 3 };
         let decision = agent.decide(NodeId(2), Some(ingress), NodeId(0), &mut state, &none);
-        assert_eq!(
-            decision,
-            ForwardDecision::Forward(net.cycle_table().cycle_following(ingress))
-        );
+        assert_eq!(decision, ForwardDecision::Forward(net.cycle_table().cycle_following(ingress)));
         assert!(state.pr, "no failure at this hop: stay in cycle following");
     }
 
@@ -499,7 +496,8 @@ mod tests {
         let mut g = generators::ring(4, 1);
         g.add_link(NodeId(1), NodeId(3), 1).unwrap();
         let emb = CellularEmbedding::new(&g, RotationSystem::identity(&g)).unwrap();
-        let net = PrNetwork::compile(&g, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
+        let net =
+            PrNetwork::compile(&g, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
         let agent = net.agent(&g);
         let ingress = g.find_dart(NodeId(2), NodeId(1)).unwrap();
         let cf = net.cycle_table().cycle_following(ingress);

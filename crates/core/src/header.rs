@@ -224,10 +224,7 @@ mod tests {
         let codec = HeaderCodec::new(20);
         assert_eq!(codec.encoded_len(), 3);
         let bytes = codec.encode(PrHeader { pr: true, dd: 0xABCDE & 0xFFFFF }).unwrap();
-        assert_eq!(
-            codec.decode(&bytes[..2]),
-            Err(HeaderError::Truncated { needed: 3, got: 2 })
-        );
+        assert_eq!(codec.decode(&bytes[..2]), Err(HeaderError::Truncated { needed: 3, got: 2 }));
     }
 
     #[test]

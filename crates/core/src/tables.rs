@@ -76,7 +76,9 @@ impl RoutingTables {
                 }
                 next[dest.index()][node.index()] =
                     Some(tree.next_dart(node).unwrap_or_else(|| {
-                        panic!("routing tables require a connected graph: {node} cannot reach {dest}")
+                        panic!(
+                            "routing tables require a connected graph: {node} cannot reach {dest}"
+                        )
                     }));
                 hops[dest.index()][node.index()] = tree.hops(node).expect("reachable");
                 cost[dest.index()][node.index()] = tree.cost(node).expect("reachable");
@@ -198,15 +200,14 @@ impl CycleFollowingTable {
 
     /// Renders `node`'s table in the paper's Table 1 notation, with the
     /// owning face of each outgoing interface in parentheses.
-    pub fn display_at(
-        &self,
-        graph: &Graph,
-        embedding: &CellularEmbedding,
-        node: NodeId,
-    ) -> String {
+    pub fn display_at(&self, graph: &Graph, embedding: &CellularEmbedding, node: NodeId) -> String {
         use std::fmt::Write as _;
         let iface = |d: Dart| {
-            format!("I_{}{}", graph.node_name(graph.dart_tail(d)), graph.node_name(graph.dart_head(d)))
+            format!(
+                "I_{}{}",
+                graph.node_name(graph.dart_tail(d)),
+                graph.node_name(graph.dart_head(d))
+            )
         };
         let mut out = format!(
             "Cycle following table at node {}.\n{:<10} {:<18} {}\n",
@@ -218,14 +219,10 @@ impl CycleFollowingTable {
         for row in self.rows_at(graph, node) {
             let cf_face = embedding.main_cycle(row.cycle_following);
             let comp_face = embedding.main_cycle(row.complementary);
-            writeln!(
-                out,
-                "{:<10} {:<18} {}",
-                iface(row.incoming),
-                format!("{} ({})", iface(row.cycle_following), cf_face),
-                format!("{} ({})", iface(row.complementary), comp_face),
-            )
-            .expect("writing to String cannot fail");
+            let cf = format!("{} ({})", iface(row.cycle_following), cf_face);
+            let comp = format!("{} ({})", iface(row.complementary), comp_face);
+            writeln!(out, "{:<10} {:<18} {}", iface(row.incoming), cf, comp)
+                .expect("writing to String cannot fail");
         }
         out
     }

@@ -123,8 +123,14 @@ impl PacketTrace {
                     ),
                 });
             }
-            writeln!(out, "  {hop:<16} [PR={} DD={}]  {}", u8::from(step.header.pr), step.header.dd, why.join("; "))
-                .unwrap();
+            writeln!(
+                out,
+                "  {hop:<16} [PR={} DD={}]  {}",
+                u8::from(step.header.pr),
+                step.header.dd,
+                why.join("; ")
+            )
+            .unwrap();
         }
         let tail = match self.outcome {
             TraceOutcome::Delivered => format!("DELIVERED at {}", name(self.dst)),
@@ -312,7 +318,8 @@ mod tests {
         let (g, orders) = pr_topologies::figure1();
         let rot = RotationSystem::from_neighbor_orders(&g, &orders).unwrap();
         let emb = CellularEmbedding::new(&g, rot).unwrap();
-        let net = PrNetwork::compile(&g, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
+        let net =
+            PrNetwork::compile(&g, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
         let n = |s: &str| g.node_by_name(s).unwrap();
         let failed = LinkSet::from_links(
             g.link_count(),

@@ -106,7 +106,11 @@ where
             return Walk { result: WalkResult::Delivered, path, peak_header_bits };
         }
         if path.hop_count() >= ttl {
-            return Walk { result: WalkResult::Dropped(DropReason::TtlExpired), path, peak_header_bits };
+            return Walk {
+                result: WalkResult::Dropped(DropReason::TtlExpired),
+                path,
+                peak_header_bits,
+            };
         }
         if !seen.insert((at, ingress, state.clone())) {
             return Walk {

@@ -244,8 +244,7 @@ fn k5_genus_one_counterexample_livelocks() {
     for (a, b, w) in links {
         g.add_link(NodeId(a), NodeId(b), w).unwrap();
     }
-    let failed =
-        LinkSet::from_links(g.link_count(), [LinkId(1), LinkId(2), LinkId(4)]);
+    let failed = LinkSet::from_links(g.link_count(), [LinkId(1), LinkId(2), LinkId(4)]);
     assert!(algo::is_connected(&g, &failed), "the failure set must not disconnect K5");
 
     // Find a livelocking rotation by scanning random rotation systems
@@ -258,7 +257,8 @@ fn k5_genus_one_counterexample_livelocks() {
         let rot = RotationSystem::random(&g, &mut rng);
         let emb = CellularEmbedding::new(&g, rot).unwrap();
         let genus = emb.genus();
-        let net = PrNetwork::compile(&g, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
+        let net =
+            PrNetwork::compile(&g, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
         let agent = net.agent(&g);
         let mut livelocked = false;
         for src in g.nodes() {
@@ -278,10 +278,7 @@ fn k5_genus_one_counterexample_livelocks() {
             break;
         }
     }
-    assert!(
-        found_livelock,
-        "expected to find a livelocking rotation system of K5 (genus >= 1)"
-    );
+    assert!(found_livelock, "expected to find a livelocking rotation system of K5 (genus >= 1)");
     assert!(found_genus >= 1, "K5 has no genus-0 rotation system");
 }
 

@@ -145,10 +145,7 @@ mod tests {
         g.add_node("isolated");
         g.add_link(a, b, 1).unwrap();
         let rot = RotationSystem::identity(&g);
-        assert!(matches!(
-            CellularEmbedding::new(&g, rot),
-            Err(EmbeddingError::NotConnected)
-        ));
+        assert!(matches!(CellularEmbedding::new(&g, rot), Err(EmbeddingError::NotConnected)));
     }
 
     #[test]
@@ -189,10 +186,7 @@ mod tests {
         let failed = LinkSet::from_links(g.link_count(), [d01.link()]);
         let walk = emb.boundary_walk(&g, d01, &failed, 100).unwrap();
         let nodes: Vec<NodeId> = walk.iter().map(|&d| g.dart_head(d)).collect();
-        assert_eq!(
-            nodes,
-            vec![NodeId(3), NodeId(2), NodeId(1), NodeId(2), NodeId(3), NodeId(0)]
-        );
+        assert_eq!(nodes, vec![NodeId(3), NodeId(2), NodeId(1), NodeId(2), NodeId(3), NodeId(0)]);
         // Exactly the six surviving darts, each once.
         assert_eq!(walk.len(), g.dart_count() - 2);
         let mut sorted = walk.clone();

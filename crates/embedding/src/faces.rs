@@ -117,8 +117,7 @@ impl FaceStructure {
         if b.is_empty() {
             return format!("{f}: (empty)");
         }
-        let mut names: Vec<&str> =
-            b.iter().map(|&d| graph.node_name(graph.dart_tail(d))).collect();
+        let mut names: Vec<&str> = b.iter().map(|&d| graph.node_name(graph.dart_tail(d))).collect();
         names.push(graph.node_name(graph.dart_tail(b[0])));
         format!("{f}: {}", names.join(" -> "))
     }

@@ -101,7 +101,12 @@ impl Default for AnnealParams {
 ///
 /// Returns the best rotation system visited (not merely the final
 /// state). Deterministic given `seed`.
-pub fn anneal(graph: &Graph, start: RotationSystem, params: AnnealParams, seed: u64) -> RotationSystem {
+pub fn anneal(
+    graph: &Graph,
+    start: RotationSystem,
+    params: AnnealParams,
+    seed: u64,
+) -> RotationSystem {
     let all_moves = moves(graph);
     if all_moves.is_empty() {
         return start; // e.g. a ring: unique embedding
@@ -210,7 +215,8 @@ fn permute(items: &mut Vec<usize>, k: usize, visit: &mut impl FnMut(&[usize])) {
 /// 3. run a short seeded anneal from the same start;
 /// 4. return whichever of the two has more faces.
 pub fn best_effort(graph: &Graph, seed: u64) -> RotationSystem {
-    let start = RotationSystem::geometric(graph).unwrap_or_else(|_| RotationSystem::identity(graph));
+    let start =
+        RotationSystem::geometric(graph).unwrap_or_else(|_| RotationSystem::identity(graph));
     let climbed = hill_climb(graph, start.clone());
     let annealed = anneal(graph, start, AnnealParams::default(), seed);
     if face_count(graph, &climbed) >= face_count(graph, &annealed) {
@@ -235,7 +241,8 @@ fn planar_face_target(graph: &Graph) -> usize {
 /// Deterministic given `seed`. `restarts` anneals are run at
 /// `iterations` proposals each.
 pub fn thorough(graph: &Graph, seed: u64, restarts: u64, iterations: usize) -> RotationSystem {
-    let start = RotationSystem::geometric(graph).unwrap_or_else(|_| RotationSystem::identity(graph));
+    let start =
+        RotationSystem::geometric(graph).unwrap_or_else(|_| RotationSystem::identity(graph));
     let target = planar_face_target(graph);
     let mut best = hill_climb(graph, start.clone());
     let mut best_f = face_count(graph, &best);

@@ -54,9 +54,9 @@ pub fn random_triangulation(
 
     // Per-node dart orders, maintained as cyclic sequences.
     let mut orders: Vec<Vec<Dart>> = vec![
-        vec![ab.forward(), ca.reverse()],  // at a: a->b, a->c
-        vec![bc.forward(), ab.reverse()],  // at b: b->c, b->a
-        vec![ca.forward(), bc.reverse()],  // at c: c->a, c->b
+        vec![ab.forward(), ca.reverse()], // at a: a->b, a->c
+        vec![bc.forward(), ab.reverse()], // at b: b->c, b->a
+        vec![ca.forward(), bc.reverse()], // at c: c->a, c->b
     ];
     // Triangular faces as corner darts (x->y, y->z, z->x).
     let mut faces: Vec<[Dart; 3]> = vec![
@@ -122,10 +122,7 @@ pub fn random_outerplanar(
     for i in 0..n {
         let angle = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
         let id = g.add_node(i.to_string());
-        g.set_coordinates(
-            id,
-            pr_graph::Coordinates { lon: angle.cos(), lat: angle.sin() },
-        );
+        g.set_coordinates(id, pr_graph::Coordinates { lon: angle.cos(), lat: angle.sin() });
     }
     let w = move |rng: &mut dyn rand::RngCore| -> u32 {
         if weights.start() == weights.end() {

@@ -43,8 +43,7 @@ impl RotationSystem {
     /// Builds the rotation system that orders darts around each node in
     /// link-insertion order. Valid on any graph; genus is arbitrary.
     pub fn identity(graph: &Graph) -> RotationSystem {
-        let orders: Vec<Vec<Dart>> =
-            graph.nodes().map(|n| graph.darts_from(n).to_vec()).collect();
+        let orders: Vec<Vec<Dart>> = graph.nodes().map(|n| graph.darts_from(n).to_vec()).collect();
         RotationSystem::from_orders(graph, &orders).expect("insertion orders are always valid")
     }
 
@@ -52,7 +51,10 @@ impl RotationSystem {
     ///
     /// `orders[n]` must contain exactly the darts leaving node `n`, each
     /// once, in the desired cyclic order.
-    pub fn from_orders(graph: &Graph, orders: &[Vec<Dart>]) -> Result<RotationSystem, EmbeddingError> {
+    pub fn from_orders(
+        graph: &Graph,
+        orders: &[Vec<Dart>],
+    ) -> Result<RotationSystem, EmbeddingError> {
         if orders.len() != graph.node_count() {
             return Err(EmbeddingError::InvalidOrder {
                 node: NodeId(orders.len() as u32),
@@ -270,7 +272,7 @@ impl RotationSystem {
         let node = graph.dart_tail(dart);
         let mut order = self.order_at(graph, node);
         let deg = order.len();
-        if deg <= 2 || offset % deg == 0 {
+        if deg <= 2 || offset.is_multiple_of(deg) {
             return self.clone();
         }
         let pos = order.iter().position(|&d| d == dart).expect("dart in its node's order");
@@ -335,8 +337,8 @@ mod tests {
         g.add_link(a, b, 1).unwrap();
         g.add_link(b, c, 1).unwrap();
         g.add_link(c, a, 1).unwrap();
-        let rot =
-            RotationSystem::from_neighbor_orders(&g, &[vec![b, c], vec![c, a], vec![a, b]]).unwrap();
+        let rot = RotationSystem::from_neighbor_orders(&g, &[vec![b, c], vec![c, a], vec![a, b]])
+            .unwrap();
         rot.validate(&g).unwrap();
         let ab = g.find_dart(a, b).unwrap();
         let ac = g.find_dart(a, c).unwrap();
@@ -352,8 +354,8 @@ mod tests {
         let c = g.add_node("C");
         g.add_link(a, b, 1).unwrap();
         g.add_link(b, c, 1).unwrap();
-        let err = RotationSystem::from_neighbor_orders(&g, &[vec![c], vec![a, c], vec![b]])
-            .unwrap_err();
+        let err =
+            RotationSystem::from_neighbor_orders(&g, &[vec![c], vec![a, c], vec![b]]).unwrap_err();
         assert!(matches!(err, EmbeddingError::NotAdjacent { .. }));
     }
 
@@ -371,8 +373,7 @@ mod tests {
     #[test]
     fn from_orders_rejects_wrong_darts() {
         let g = generators::ring(4, 1);
-        let mut orders: Vec<Vec<Dart>> =
-            g.nodes().map(|n| g.darts_from(n).to_vec()).collect();
+        let mut orders: Vec<Vec<Dart>> = g.nodes().map(|n| g.darts_from(n).to_vec()).collect();
         orders[0][0] = orders[1][0]; // a dart that does not leave node 0
         assert!(matches!(
             RotationSystem::from_orders(&g, &orders),
@@ -383,8 +384,7 @@ mod tests {
     #[test]
     fn from_orders_rejects_duplicates() {
         let g = generators::complete(3, 1);
-        let mut orders: Vec<Vec<Dart>> =
-            g.nodes().map(|n| g.darts_from(n).to_vec()).collect();
+        let mut orders: Vec<Vec<Dart>> = g.nodes().map(|n| g.darts_from(n).to_vec()).collect();
         orders[0][1] = orders[0][0];
         assert!(matches!(
             RotationSystem::from_orders(&g, &orders),

@@ -163,8 +163,7 @@ pub fn cut_analysis(graph: &Graph, failed: &LinkSet) -> CutAnalysis {
     }
 
     bridges.sort_unstable();
-    let articulation_points =
-        (0..n).filter(|&i| is_ap[i]).map(|i| NodeId(i as u32)).collect();
+    let articulation_points = (0..n).filter(|&i| is_ap[i]).map(|i| NodeId(i as u32)).collect();
     CutAnalysis { bridges, articulation_points }
 }
 
@@ -276,7 +275,8 @@ mod tests {
         let none = no_failures(&g);
         let l0 = g.find_link(NodeId(0), NodeId(1)).unwrap();
         assert!(connected_after(&g, &none, l0));
-        let failed = LinkSet::from_links(g.link_count(), [g.find_link(NodeId(2), NodeId(3)).unwrap()]);
+        let failed =
+            LinkSet::from_links(g.link_count(), [g.find_link(NodeId(2), NodeId(3)).unwrap()]);
         assert!(!connected_after(&g, &failed, l0));
     }
 

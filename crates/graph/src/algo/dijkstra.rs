@@ -74,8 +74,7 @@ impl SpTree {
         // Canonical parent selection: process nodes in increasing
         // (dist, id); every candidate parent is strictly closer to dest,
         // hence already finalised when we reach its children.
-        let mut order: Vec<NodeId> =
-            graph.nodes().filter(|u| dist[u.index()].is_some()).collect();
+        let mut order: Vec<NodeId> = graph.nodes().filter(|u| dist[u.index()].is_some()).collect();
         order.sort_by_key(|u| (dist[u.index()].unwrap(), u.0));
 
         let mut hops: Vec<Option<u32>> = vec![None; n];
@@ -217,21 +216,13 @@ impl AllPairs {
     /// This bounds the hop-count distance discriminator, so the paper's
     /// DD field needs `ceil(log2(diameter + 1))` bits (§6).
     pub fn hop_diameter(&self) -> u32 {
-        self.trees
-            .iter()
-            .flat_map(|t| t.hops.iter().flatten().copied())
-            .max()
-            .unwrap_or(0)
+        self.trees.iter().flat_map(|t| t.hops.iter().flatten().copied()).max().unwrap_or(0)
     }
 
     /// Maximum weighted cost over all connected pairs, bounding the
     /// weighted-cost distance discriminator.
     pub fn cost_diameter(&self) -> u64 {
-        self.trees
-            .iter()
-            .flat_map(|t| t.dist.iter().flatten().copied())
-            .max()
-            .unwrap_or(0)
+        self.trees.iter().flat_map(|t| t.dist.iter().flatten().copied()).max().unwrap_or(0)
     }
 }
 
@@ -244,7 +235,8 @@ mod tests {
     /// nodes A,B,C,D,E,F; links A-B, A-C, B-C, B-D, C-E, D-E, D-F, E-F.
     fn figure1_like() -> (Graph, Vec<NodeId>) {
         let mut g = Graph::new();
-        let ids: Vec<NodeId> = ["A", "B", "C", "D", "E", "F"].iter().map(|n| g.add_node(*n)).collect();
+        let ids: Vec<NodeId> =
+            ["A", "B", "C", "D", "E", "F"].iter().map(|n| g.add_node(*n)).collect();
         let (a, b, c, d, e, f) = (ids[0], ids[1], ids[2], ids[3], ids[4], ids[5]);
         for (x, y) in [(a, b), (a, c), (b, c), (b, d), (c, e), (d, e), (d, f), (e, f)] {
             g.add_link(x, y, 1).unwrap();

@@ -7,8 +7,8 @@ mod paths;
 
 pub use bfs::{hop_diameter, hop_distances, reachable_from};
 pub use connectivity::{
-    components, connected_after, cut_analysis, is_biconnected, is_connected,
-    is_two_edge_connected, Components, CutAnalysis,
+    components, connected_after, cut_analysis, is_biconnected, is_connected, is_two_edge_connected,
+    Components, CutAnalysis,
 };
 pub use dijkstra::{AllPairs, SpTree};
 pub use paths::{stretch, Path};

@@ -97,13 +97,19 @@ impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ParseError::BadDirective { line, directive } => {
-                write!(f, "line {line}: unknown directive {directive:?} (expected `node` or `link`)")
+                write!(
+                    f,
+                    "line {line}: unknown directive {directive:?} (expected `node` or `link`)"
+                )
             }
             ParseError::BadArguments { line, expected } => {
                 write!(f, "line {line}: bad arguments, expected {expected}")
             }
             ParseError::UnknownNode { line, name } => {
-                write!(f, "line {line}: unknown node {name:?} (declare it with a `node` line first)")
+                write!(
+                    f,
+                    "line {line}: unknown node {name:?} (declare it with a `node` line first)"
+                )
             }
             ParseError::Graph { line, source } => write!(f, "line {line}: {source}"),
         }

@@ -233,10 +233,7 @@ impl Graph {
     ///
     /// With parallel links, returns the lowest-id one.
     pub fn find_link(&self, a: NodeId, b: NodeId) -> Option<LinkId> {
-        self.out_darts[a.index()]
-            .iter()
-            .find(|&&d| self.dart_head(d) == b)
-            .map(|d| d.link())
+        self.out_darts[a.index()].iter().find(|&&d| self.dart_head(d) == b).map(|d| d.link())
     }
 
     /// Finds the dart oriented `a -> b`, if a link joins them.

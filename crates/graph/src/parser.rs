@@ -96,9 +96,7 @@ pub fn parse(text: &str) -> Result<Graph, ParseError> {
                 })?;
                 g.add_link(na, nb, weight).map_err(|source| ParseError::Graph { line, source })?;
             }
-            other => {
-                return Err(ParseError::BadDirective { line, directive: other.to_string() })
-            }
+            other => return Err(ParseError::BadDirective { line, directive: other.to_string() }),
         }
     }
     Ok(g)
@@ -124,14 +122,8 @@ pub fn write(graph: &Graph) -> String {
     }
     for link in graph.links() {
         let (a, b) = graph.endpoints(link);
-        writeln!(
-            out,
-            "link {} {} {}",
-            graph.node_name(a),
-            graph.node_name(b),
-            graph.weight(link)
-        )
-        .unwrap();
+        writeln!(out, "link {} {} {}", graph.node_name(a), graph.node_name(b), graph.weight(link))
+            .unwrap();
     }
     out
 }
@@ -176,7 +168,10 @@ link C A 3
             assert_eq!(g.weight(l), g2.weight(l));
         }
         for n in g.nodes() {
-            assert_eq!(g.coordinates(n).map(|c| (c.lon, c.lat)), g2.coordinates(n).map(|c| (c.lon, c.lat)));
+            assert_eq!(
+                g.coordinates(n).map(|c| (c.lon, c.lat)),
+                g2.coordinates(n).map(|c| (c.lon, c.lat))
+            );
         }
     }
 

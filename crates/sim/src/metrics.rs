@@ -113,8 +113,7 @@ mod tests {
 
     #[test]
     fn accounting() {
-        let mut m = Metrics::default();
-        m.injected = 3;
+        let mut m = Metrics { injected: 3, ..Default::default() };
         m.record_delivery(SimTime(100), SimTime(600), 3);
         m.record_delivery(SimTime(200), SimTime(400), 5);
         m.record_drop(SimDropReason::InterfaceDown);

@@ -80,19 +80,16 @@ pub fn diamond() -> (Graph, NodeId, NodeId, pr_graph::LinkId) {
 /// failure) and under a reconverging IGP, returning both loss counts.
 pub fn run_oc192(scenario: &Oc192Scenario, seed: u64) -> Vec<OutageResult> {
     let (g, src, dst, primary) = diamond();
-    let interval_ns = (f64::from(scenario.packet_bytes) * 8.0 * 1e9
-        / (scenario.load * OC192_BPS as f64)) as u64;
+    let interval_ns =
+        (f64::from(scenario.packet_bytes) * 8.0 * 1e9 / (scenario.load * OC192_BPS as f64)) as u64;
 
     let mut results = Vec::new();
 
     // Packet Re-cycling: deflects locally as soon as the failure is
     // detected at the adjacent router.
     {
-        let emb = CellularEmbedding::new(
-            &g,
-            pr_embedding::heuristics::best_effort(&g, seed),
-        )
-        .expect("diamond is connected");
+        let emb = CellularEmbedding::new(&g, pr_embedding::heuristics::best_effort(&g, seed))
+            .expect("diamond is connected");
         let net = PrNetwork::compile(&g, emb, PrMode::Basic, DiscriminatorKind::Hops);
         let agent = Static(net.agent(&g));
         let config = SimConfig {
@@ -102,7 +99,14 @@ pub fn run_oc192(scenario: &Oc192Scenario, seed: u64) -> Vec<OutageResult> {
             ..SimConfig::default()
         };
         let mut sim = Simulator::new(&g, &agent, config, seed);
-        sim.add_cbr_flow(src, dst, scenario.packet_bytes, interval_ns, SimTime::ZERO, scenario.duration);
+        sim.add_cbr_flow(
+            src,
+            dst,
+            scenario.packet_bytes,
+            interval_ns,
+            SimTime::ZERO,
+            scenario.duration,
+        );
         sim.schedule_link_down(primary, scenario.fail_at);
         sim.schedule_link_up(primary, scenario.fail_at.after(scenario.down_for.as_nanos()));
         let metrics = sim.run_until(scenario.duration.after(1_000_000_000)).clone();
@@ -114,13 +118,17 @@ pub fn run_oc192(scenario: &Oc192Scenario, seed: u64) -> Vec<OutageResult> {
         let failed = LinkSet::from_links(g.link_count(), [primary]);
         let converged_at = scenario.fail_at.after(scenario.igp_convergence.as_nanos());
         let igp = ReconvergingIgp::new(&g, &failed, converged_at);
-        let config = SimConfig {
-            bandwidth_bps: OC192_BPS,
-            queue_capacity: 1024,
-            ..SimConfig::default()
-        };
+        let config =
+            SimConfig { bandwidth_bps: OC192_BPS, queue_capacity: 1024, ..SimConfig::default() };
         let mut sim = Simulator::new(&g, &igp, config, seed);
-        sim.add_cbr_flow(src, dst, scenario.packet_bytes, interval_ns, SimTime::ZERO, scenario.duration);
+        sim.add_cbr_flow(
+            src,
+            dst,
+            scenario.packet_bytes,
+            interval_ns,
+            SimTime::ZERO,
+            scenario.duration,
+        );
         sim.schedule_link_down(primary, scenario.fail_at);
         // Keep the stale tables pointing into the failure for the whole
         // convergence window even though the link physically recovers

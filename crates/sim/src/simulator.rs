@@ -23,9 +23,7 @@ use rand::{Rng, SeedableRng};
 use pr_core::ForwardDecision;
 use pr_graph::{Dart, Graph, LinkId, LinkSet, NodeId};
 
-use crate::{
-    transmission_nanos, EventQueue, Metrics, SimDropReason, SimTime, TimedForwarding,
-};
+use crate::{transmission_nanos, EventQueue, Metrics, SimDropReason, SimTime, TimedForwarding};
 
 /// Global simulation parameters.
 #[derive(Debug, Clone)]
@@ -103,9 +101,15 @@ struct Flow {
 
 enum Event<S> {
     /// A traffic source emits its next packet and reschedules itself.
-    FlowTick { flow: usize },
+    FlowTick {
+        flow: usize,
+    },
     /// A packet reaches the head of `via`'s wire and arrives at a node.
-    Arrive { packet: Packet<S>, via: Dart, epoch: u64 },
+    Arrive {
+        packet: Packet<S>,
+        via: Dart,
+        epoch: u64,
+    },
     /// Physical link state changes.
     PhysicalDown(LinkId),
     PhysicalUp(LinkId),
@@ -388,8 +392,8 @@ impl<'a, T: TimedForwarding> Simulator<'a, T> {
             tx.starts.push_back(start);
         }
         let weight = u64::from(self.graph.weight(out.link()));
-        let prop = (weight * self.config.prop_delay_ns_per_weight)
-            .max(self.config.min_prop_delay_ns);
+        let prop =
+            (weight * self.config.prop_delay_ns_per_weight).max(self.config.min_prop_delay_ns);
         packet.hops += 1;
         let epoch = self.epoch[out.link().index()];
         self.events.push(done.after(prop), Event::Arrive { packet, via: out, epoch });
@@ -464,8 +468,10 @@ mod tests {
         let g = generators::ring(5, 1);
         let net = pr_net(&g);
         let agent = Static(net.agent(&g));
-        let mut config = SimConfig::default();
-        config.detection_delay_ns = 10_000_000; // 10 ms blind window
+        let config = SimConfig {
+            detection_delay_ns: 10_000_000, // 10 ms blind window
+            ..Default::default()
+        };
         let mut sim = Simulator::new(&g, &agent, config, 3);
         sim.add_cbr_flow(
             NodeId(1),
@@ -494,9 +500,11 @@ mod tests {
         let g = generators::path(2, 1);
         let net = pr_net(&g);
         let agent = Static(net.agent(&g));
-        let mut config = SimConfig::default();
-        config.bandwidth_bps = 8_192_000; // 1000 pkt/s at 1024 B
-        config.queue_capacity = 4;
+        let config = SimConfig {
+            bandwidth_bps: 8_192_000, // 1000 pkt/s at 1024 B
+            queue_capacity: 4,
+            ..Default::default()
+        };
         let mut sim = Simulator::new(&g, &agent, config, 4);
         // 2000 pkt/s offered into a 1000 pkt/s link.
         sim.add_cbr_flow(
@@ -569,8 +577,7 @@ mod tests {
         let emb = CellularEmbedding::new(&g, rot).unwrap();
         let net = PrNetwork::compile(&g, emb, PrMode::Basic, DiscriminatorKind::Hops);
         let agent = Static(net.agent(&g));
-        let mut config = SimConfig::default();
-        config.hop_budget = 64;
+        let config = SimConfig { hop_budget: 64, ..Default::default() };
         let mut sim = Simulator::new(&g, &agent, config, 6);
         let a = g.node_by_name("A").unwrap();
         let f = g.node_by_name("F").unwrap();

@@ -147,7 +147,8 @@ mod tests {
         use pr_embedding::{CellularEmbedding, RotationSystem};
         let g = generators::ring(5, 1);
         let emb = CellularEmbedding::new(&g, RotationSystem::identity(&g)).unwrap();
-        let net = PrNetwork::compile(&g, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
+        let net =
+            PrNetwork::compile(&g, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
         let wrapped = Static(net.agent(&g));
         assert_eq!(wrapped.label(), "pr-dd");
         let none = LinkSet::empty(g.link_count());
@@ -163,28 +164,16 @@ mod tests {
         let failed = LinkSet::from_links(g.link_count(), [direct]);
         let igp = ReconvergingIgp::new(&g, &failed, SimTime::from_millis(500));
 
-        let before = igp.decide_at(
-            SimTime::from_millis(100),
-            NodeId(1),
-            None,
-            NodeId(0),
-            &mut (),
-            &failed,
-        );
+        let before =
+            igp.decide_at(SimTime::from_millis(100), NodeId(1), None, NodeId(0), &mut (), &failed);
         // Stale tables still point into the failed link.
         match before {
             ForwardDecision::Forward(d) => assert_eq!(d.link(), direct),
             other => panic!("expected stale forward, got {other:?}"),
         }
 
-        let after = igp.decide_at(
-            SimTime::from_millis(500),
-            NodeId(1),
-            None,
-            NodeId(0),
-            &mut (),
-            &failed,
-        );
+        let after =
+            igp.decide_at(SimTime::from_millis(500), NodeId(1), None, NodeId(0), &mut (), &failed);
         match after {
             ForwardDecision::Forward(d) => {
                 assert_ne!(d.link(), direct, "converged tables avoid the failure")

@@ -34,8 +34,7 @@ proptest! {
     fn packets_are_conserved((g, emb, seed) in arb_setup()) {
         let net = PrNetwork::compile(&g, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
         let agent = Static(net.agent(&g));
-        let mut config = SimConfig::default();
-        config.detection_delay_ns = (seed % 3) * 500_000;
+        let config = SimConfig { detection_delay_ns: (seed % 3) * 500_000, ..Default::default() };
         let mut sim = Simulator::new(&g, &agent, config, seed);
 
         let n = g.node_count() as u32;
@@ -97,7 +96,7 @@ proptest! {
         prop_assert_eq!(m.delivered, 51);
         prop_assert_eq!(m.total_dropped(), 0);
         let tree = pr_graph::SpTree::towards_all_live(&g, dst);
-        prop_assert_eq!(m.hops_max as u32, tree.hops(src).unwrap());
+        prop_assert_eq!({ m.hops_max }, tree.hops(src).unwrap());
     }
 
     /// Determinism across the full feature surface: identical runs,
@@ -107,9 +106,11 @@ proptest! {
         let net = PrNetwork::compile(&g, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
         let agent = Static(net.agent(&g));
         let run = || {
-            let mut config = SimConfig::default();
-            config.detection_delay_ns = 300_000;
-            config.up_holddown_ns = 2_000_000;
+            let config = SimConfig {
+                detection_delay_ns: 300_000,
+                up_holddown_ns: 2_000_000,
+                ..Default::default()
+            };
             let mut sim = Simulator::new(&g, &agent, config, seed);
             let n = g.node_count() as u32;
             sim.add_poisson_flow(

@@ -17,13 +17,7 @@ fn main() {
         let best = heuristics::thorough(&g, 2010, 8, 60_000);
         let faces = FaceStructure::trace(&g, &best);
         let certified = genus(&g, &faces).expect("connected");
-        println!(
-            "{:<11} {:>22}  {:>15}  {:>5}",
-            isp.name(),
-            start,
-            certified,
-            faces.face_count()
-        );
+        println!("{:<11} {:>22}  {:>15}  {:>5}", isp.name(), start, certified, faces.face_count());
         assert_eq!(certified, 0, "{isp}: expected to certify planarity");
     }
     println!("\nAll three evaluation topologies are planar: the §5 guarantee applies.");

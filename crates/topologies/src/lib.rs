@@ -251,10 +251,7 @@ mod tests {
         for isp in Isp::ALL {
             let g = load(isp, Weighting::Hop);
             let none = LinkSet::empty(g.link_count());
-            assert!(
-                algo::is_two_edge_connected(&g, &none),
-                "{isp} is not 2-edge-connected"
-            );
+            assert!(algo::is_two_edge_connected(&g, &none), "{isp} is not 2-edge-connected");
         }
     }
 

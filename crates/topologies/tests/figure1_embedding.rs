@@ -34,11 +34,8 @@ fn figure1_embedding_matches_the_paper() {
     assert_eq!(emb.genus(), 0, "Figure 1(a) is drawn on the sphere");
     assert_eq!(emb.faces().face_count(), 5);
 
-    let mut cycles: Vec<String> = emb
-        .faces()
-        .iter()
-        .map(|(_, boundary)| canonical_cycle(&g, boundary))
-        .collect();
+    let mut cycles: Vec<String> =
+        emb.faces().iter().map(|(_, boundary)| canonical_cycle(&g, boundary)).collect();
     cycles.sort();
 
     // The paper's cycles (as directed node sequences):

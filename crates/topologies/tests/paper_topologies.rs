@@ -1,0 +1,104 @@
+//! Data-integrity gate for the shipped `.topo` files: node/link
+//! counts, full coordinate coverage, 2-edge-connectivity, and — the
+//! property the paper's delivery guarantee rests on — planarity,
+//! certified by building a genus-0 [`CellularEmbedding`].
+//!
+//! Any edit to the data files that silently breaks one of these
+//! invariants fails this suite rather than surfacing as mysterious
+//! drops deep inside the forwarding tests.
+
+use pr_embedding::{heuristics, CellularEmbedding, RotationSystem};
+use pr_graph::{algo, LinkSet};
+use pr_topologies::{load, Isp, Weighting};
+
+/// The node/link counts the crate docs promise (paper §6 topologies).
+fn documented_shape(isp: Isp) -> (usize, usize) {
+    match isp {
+        Isp::Abilene => (11, 14),
+        Isp::Geant => (34, 52),
+        Isp::Teleglobe => (23, 35),
+    }
+}
+
+#[test]
+fn shapes_match_documented_counts() {
+    for isp in Isp::ALL {
+        let (nodes, links) = documented_shape(isp);
+        let g = load(isp, Weighting::Hop);
+        assert_eq!(g.node_count(), nodes, "{isp}: node count drifted from the documented map");
+        assert_eq!(g.link_count(), links, "{isp}: link count drifted from the documented map");
+    }
+}
+
+#[test]
+fn every_node_carries_coordinates() {
+    // Distance weighting and the geometric embedding seed both require
+    // full coordinate coverage.
+    for isp in Isp::ALL {
+        let g = load(isp, Weighting::Hop);
+        assert!(g.fully_located(), "{isp}: some node is missing coordinates");
+    }
+}
+
+#[test]
+fn all_topologies_are_two_edge_connected() {
+    // Single-failure protection (§4.2) is only promised on
+    // 2-edge-connected graphs.
+    for isp in Isp::ALL {
+        let g = load(isp, Weighting::Hop);
+        let none = LinkSet::empty(g.link_count());
+        assert!(algo::is_two_edge_connected(&g, &none), "{isp} has a bridge");
+    }
+}
+
+#[test]
+fn geometric_rotation_certifies_genus_zero() {
+    // The `.topo` coordinates are a crossing-free drawing, so the
+    // geometric rotation alone must already realise the sphere — no
+    // search required. This is deliberately stronger than "thorough()
+    // eventually finds genus 0": it pins the data, not the heuristic.
+    for isp in Isp::ALL {
+        let g = load(isp, Weighting::Distance);
+        let rot = RotationSystem::geometric(&g).expect("coordinates present");
+        let emb = CellularEmbedding::new(&g, rot).expect("connected");
+        assert_eq!(
+            emb.genus(),
+            0,
+            "{isp}: geometric embedding is not planar — a link crossing crept into the drawing"
+        );
+        // Euler check: F = E - V + 2 on the sphere.
+        assert_eq!(
+            emb.faces().face_count(),
+            g.link_count() + 2 - g.node_count(),
+            "{isp}: face count violates Euler's formula"
+        );
+    }
+}
+
+#[test]
+fn thorough_search_also_certifies_genus_zero() {
+    // The production pipeline (used by pr-bench and the facade) runs
+    // `heuristics::thorough`; it must also land on the sphere.
+    for isp in Isp::ALL {
+        let g = load(isp, Weighting::Distance);
+        let rot = heuristics::thorough(&g, 2010, 8, 60_000);
+        let emb = CellularEmbedding::new(&g, rot).expect("connected");
+        assert_eq!(emb.genus(), 0, "{isp}: thorough search failed to certify planarity");
+    }
+}
+
+#[test]
+fn distance_weighted_diameters_fit_the_dd_header() {
+    // The paper sizes the DD field from the network hop diameter; the
+    // facade's end-to-end test requires PR-bit + DD ≤ 5 bits, i.e. a
+    // hop diameter of at most 15 along weighted shortest paths.
+    for isp in Isp::ALL {
+        let g = load(isp, Weighting::Distance);
+        let ap = pr_graph::AllPairs::compute_all_live(&g);
+        assert!(
+            ap.hop_diameter() <= 15,
+            "{isp}: hop diameter {} needs more than 4 DD bits",
+            ap.hop_diameter()
+        );
+    }
+}

@@ -11,9 +11,16 @@ use packet_recycling::prelude::*;
 fn main() {
     let choice = std::env::args().nth(1).unwrap_or_else(|| "abilene".to_string());
     let (name, graph) = match choice.as_str() {
-        "abilene" => ("abilene", topologies::load(topologies::Isp::Abilene, topologies::Weighting::Distance)),
-        "teleglobe" => ("teleglobe", topologies::load(topologies::Isp::Teleglobe, topologies::Weighting::Distance)),
-        "geant" => ("geant", topologies::load(topologies::Isp::Geant, topologies::Weighting::Distance)),
+        "abilene" => {
+            ("abilene", topologies::load(topologies::Isp::Abilene, topologies::Weighting::Distance))
+        }
+        "teleglobe" => (
+            "teleglobe",
+            topologies::load(topologies::Isp::Teleglobe, topologies::Weighting::Distance),
+        ),
+        "geant" => {
+            ("geant", topologies::load(topologies::Isp::Geant, topologies::Weighting::Distance))
+        }
         "figure1" => ("figure1", topologies::figure1().0),
         "petersen" => ("petersen", generators::petersen(1)),
         "k5" => ("k5", generators::complete(5, 1)),
@@ -37,7 +44,10 @@ fn main() {
     candidates.push(("best_effort", embedding::heuristics::best_effort(&graph, 1)));
     candidates.push(("thorough", embedding::heuristics::thorough(&graph, 1, 6, 40_000)));
 
-    println!("{:<12} {:>5} {:>6} {:>9} {:>10}", "heuristic", "genus", "faces", "max-face", "mean-face");
+    println!(
+        "{:<12} {:>5} {:>6} {:>9} {:>10}",
+        "heuristic", "genus", "faces", "max-face", "mean-face"
+    );
     let mut best: Option<(u32, RotationSystem)> = None;
     for (label, rot) in candidates {
         let emb = CellularEmbedding::new(&graph, rot.clone()).unwrap();

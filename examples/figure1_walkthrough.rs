@@ -18,12 +18,8 @@ fn main() {
         println!("  {}", emb.faces().display_face(&graph, f));
     }
 
-    let net = PrNetwork::compile(
-        &graph,
-        emb,
-        PrMode::DistanceDiscriminator,
-        DiscriminatorKind::Hops,
-    );
+    let net =
+        PrNetwork::compile(&graph, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
     let n = |s: &str| graph.node_by_name(s).unwrap();
     let link = |a: &str, b: &str| graph.find_link(n(a), n(b)).unwrap();
 
@@ -37,7 +33,11 @@ fn main() {
         match walk.result {
             WalkResult::Delivered => {
                 println!("  route: {}", walk.path.display(&graph, n("A")));
-                println!("  hops: {}, peak header bits: {}", walk.path.hop_count(), walk.peak_header_bits);
+                println!(
+                    "  hops: {}, peak header bits: {}",
+                    walk.path.hop_count(),
+                    walk.peak_header_bits
+                );
             }
             WalkResult::Dropped(reason) => println!("  dropped: {reason}"),
         }

@@ -19,8 +19,7 @@ use packet_recycling::prelude::*;
 
 fn main() {
     // The intra-domain topology: Abilene.
-    let mut graph =
-        topologies::load(topologies::Isp::Abilene, topologies::Weighting::Distance);
+    let mut graph = topologies::load(topologies::Isp::Abilene, topologies::Weighting::Distance);
 
     // An external prefix (say 198.51.100.0/24) announced via BGP at
     // three egress PoPs: Seattle, LosAngeles and NewYork. Model it as
@@ -77,9 +76,8 @@ fn main() {
     if !two_down.contains(second) {
         two_down.insert(second);
     } else {
-        two_down.insert(
-            graph.find_link(graph.node_by_name("LosAngeles").unwrap(), prefix).unwrap(),
-        );
+        two_down
+            .insert(graph.find_link(graph.node_by_name("LosAngeles").unwrap(), prefix).unwrap());
     }
     let last_resort = walk_packet(&graph, &net.agent(&graph), houston, prefix, &two_down, ttl);
     assert!(last_resort.result.is_delivered());

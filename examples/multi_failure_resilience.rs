@@ -19,7 +19,8 @@ fn main() {
         graph.link_count(),
         emb.genus()
     );
-    let net = PrNetwork::compile(&graph, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
+    let net =
+        PrNetwork::compile(&graph, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
     let pr = net.agent(&graph);
     let lfa = LfaAgent::compute(&graph);
     let ttl = generous_ttl(&graph);
@@ -54,8 +55,7 @@ fn main() {
                 let w = walk_packet(&graph, &pr, src, dst, &failed, ttl);
                 if w.result.is_delivered() {
                     pr_ok += 1;
-                    stretches
-                        .push(w.cost(&graph) as f64 / base.cost(src, dst).unwrap() as f64);
+                    stretches.push(w.cost(&graph) as f64 / base.cost(src, dst).unwrap() as f64);
                 }
                 if walk_packet(&graph, &lfa, src, dst, &failed, ttl).result.is_delivered() {
                     lfa_ok += 1;

@@ -19,7 +19,8 @@ fn main() {
 
     // Compile the per-router state: shortest-path tables with the
     // distance-discriminator column, plus cycle following tables.
-    let net = PrNetwork::compile(&graph, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
+    let net =
+        PrNetwork::compile(&graph, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
     println!(
         "header: 1 PR bit + {} DD bits = {} bits (fits DSCP pool 2: {})",
         net.codec().dd_bits(),

@@ -28,7 +28,8 @@ fn main() {
         graph.link_count(),
         emb.genus()
     );
-    let net = PrNetwork::compile(&graph, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
+    let net =
+        PrNetwork::compile(&graph, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
     let pr = net.agent(&graph);
     let fcp = FcpAgent::new(&graph);
     let ttl = generous_ttl(&graph);

@@ -13,12 +13,8 @@ fn full_pipeline_on_all_isp_topologies() {
         let emb = CellularEmbedding::new(&graph, rot).unwrap();
         assert_eq!(emb.genus(), 0, "{isp}: all paper topologies are planar");
 
-        let net = PrNetwork::compile(
-            &graph,
-            emb,
-            PrMode::DistanceDiscriminator,
-            DiscriminatorKind::Hops,
-        );
+        let net =
+            PrNetwork::compile(&graph, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
         // The header must be small — that is the paper's whole point.
         assert!(net.codec().total_bits() <= 5, "{isp}: header exploded");
 
@@ -51,7 +47,8 @@ fn header_roundtrip_through_codec() {
     let (graph, orders) = topologies::figure1();
     let rot = RotationSystem::from_neighbor_orders(&graph, &orders).unwrap();
     let emb = CellularEmbedding::new(&graph, rot).unwrap();
-    let net = PrNetwork::compile(&graph, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
+    let net =
+        PrNetwork::compile(&graph, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
     let codec = net.codec();
 
     // Simulate D stamping the Figure 1(c) header.
@@ -68,7 +65,8 @@ fn simulator_and_walker_agree_on_delivery() {
     let graph = topologies::load(topologies::Isp::Abilene, topologies::Weighting::Distance);
     let rot = embedding::heuristics::thorough(&graph, 7, 4, 20_000);
     let emb = CellularEmbedding::new(&graph, rot).unwrap();
-    let net = PrNetwork::compile(&graph, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
+    let net =
+        PrNetwork::compile(&graph, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
     let agent = net.agent(&graph);
 
     let link = graph.links().nth(3).unwrap();
@@ -89,7 +87,14 @@ fn simulator_and_walker_agree_on_delivery() {
             let timed = Static(agent);
             let mut sim = Simulator::new(&graph, &timed, SimConfig::default(), 1);
             sim.schedule_link_down(link, SimTime::ZERO);
-            sim.add_cbr_flow(src, dst, 512, 1_000_000, SimTime::from_millis(1), SimTime::from_millis(1));
+            sim.add_cbr_flow(
+                src,
+                dst,
+                512,
+                1_000_000,
+                SimTime::from_millis(1),
+                SimTime::from_millis(1),
+            );
             let m = sim.run_until(SimTime::from_secs(10));
             assert_eq!(m.injected, 1);
             assert_eq!(m.delivered, 1, "{src}->{dst}: simulator dropped what walker delivered");
@@ -106,7 +111,8 @@ fn scheme_comparison_through_facade() {
     let graph = topologies::load(topologies::Isp::Teleglobe, topologies::Weighting::Distance);
     let rot = embedding::heuristics::thorough(&graph, 2010, 8, 60_000);
     let emb = CellularEmbedding::new(&graph, rot).unwrap();
-    let net = PrNetwork::compile(&graph, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
+    let net =
+        PrNetwork::compile(&graph, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
     let pr = net.agent(&graph);
     let fcp = FcpAgent::new(&graph);
     let lfa = LfaAgent::compute(&graph);
@@ -140,17 +146,16 @@ fn compiled_state_serializes() {
     let (graph, orders) = topologies::figure1();
     let rot = RotationSystem::from_neighbor_orders(&graph, &orders).unwrap();
     let emb = CellularEmbedding::new(&graph, rot).unwrap();
-    let net = PrNetwork::compile(&graph, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
+    let net =
+        PrNetwork::compile(&graph, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
     let json = serde_json::to_string(&net).expect("PrNetwork serializes");
     let back: PrNetwork = serde_json::from_str(&json).expect("PrNetwork deserializes");
     assert_eq!(back.codec(), net.codec());
     // The revived tables forward identically.
     let ttl = generous_ttl(&graph);
     let n = |s: &str| graph.node_by_name(s).unwrap();
-    let failed = LinkSet::from_links(
-        graph.link_count(),
-        [graph.find_link(n("D"), n("E")).unwrap()],
-    );
+    let failed =
+        LinkSet::from_links(graph.link_count(), [graph.find_link(n("D"), n("E")).unwrap()]);
     let w1 = walk_packet(&graph, &net.agent(&graph), n("A"), n("F"), &failed, ttl);
     let w2 = walk_packet(&graph, &back.agent(&graph), n("A"), n("F"), &failed, ttl);
     assert_eq!(w1.path, w2.path);
