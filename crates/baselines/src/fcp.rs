@@ -19,8 +19,12 @@
 //! * if the destination is unreachable in `G \ carried`, the packet is
 //!   dropped (FCP can *prove* unreachability, unlike PR).
 
-use pr_core::{DropReason, ForwardDecision, ForwardingAgent};
-use pr_graph::{Dart, Graph, LinkId, LinkSet, NodeId, SpTree};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
+
+use pr_core::{DropReason, ForwardDecision, ForwardingAgent, FxHasher64};
+use pr_graph::{AllPairs, Dart, Graph, LinkId, LinkSet, NodeId, SpTree};
 
 /// Per-packet FCP header: the sorted list of link failures the packet
 /// has learnt about.
@@ -44,29 +48,71 @@ impl FcpState {
     }
 }
 
+/// Memoised shortest-path trees keyed by `(destination, carried
+/// failure list)`, shared by every decision an agent makes.
+///
+/// FCP's routing function depends *only* on that key, so the memo
+/// changes constants, never decisions: a hit returns the identical
+/// tree a recompute would produce. The probe key is a reusable buffer
+/// (`Vec::clone_from` keeps its allocation), so cache hits allocate
+/// nothing.
+#[derive(Debug, Clone, Default)]
+struct RouteCache {
+    trees: HashMap<(NodeId, Vec<LinkId>), SpTree, BuildHasherDefault<FxHasher64>>,
+    probe: Vec<LinkId>,
+}
+
+/// Entry bound after which a [`RouteCache`] is flushed wholesale. The
+/// keys reachable in one sweep are subsets of small failure sets, so
+/// this is a backstop for adversarial workloads, not a tuning knob.
+const ROUTE_CACHE_MAX_ENTRIES: usize = 1 << 16;
+
 /// The FCP forwarding agent.
 ///
-/// Routers recompute shortest paths per decision (the honest cost
-/// model; the FCP paper's caching optimisations change constants, not
-/// semantics — and experiment E9 measures exactly this recomputation
-/// cost against PR's table lookups).
+/// [`FcpAgent::new`] recomputes shortest paths per decision — the
+/// honest *router cost* model that experiment E9 measures against PR's
+/// table lookups. [`FcpAgent::cached`] adds a route memo for
+/// *experiment harness* use: scenario sweeps only observe FCP's
+/// decisions (which the memo provably does not change), so they need
+/// not pay the recompute cost millions of times.
 #[derive(Debug, Clone)]
 pub struct FcpAgent<'a> {
     graph: &'a Graph,
     /// Bits charged per carried link id in the header accounting:
     /// `ceil(log2(link_count))`, plus [`Self::LENGTH_FIELD_BITS`] once.
     link_id_bits: usize,
+    /// Hoisted failure-free trees: with an empty carried list the
+    /// effective topology is the base map, so the all-live tree answers
+    /// without touching the memo.
+    base: Option<&'a AllPairs>,
+    /// `Some` enables the route memo (interior mutability keeps
+    /// [`ForwardingAgent::decide`]'s `&self` signature).
+    routes: Option<RefCell<RouteCache>>,
 }
 
 impl<'a> FcpAgent<'a> {
     /// Bits of the header length field in the overhead accounting.
     pub const LENGTH_FIELD_BITS: usize = 8;
 
-    /// Creates an FCP agent over the base (failure-free) map.
+    /// Creates an FCP agent over the base (failure-free) map, with the
+    /// honest recompute-per-decision cost model.
     pub fn new(graph: &'a Graph) -> FcpAgent<'a> {
         let m = graph.link_count().max(1) as u64;
         let link_id_bits = (64 - (m - 1).leading_zeros() as usize).max(1);
-        FcpAgent { graph, link_id_bits }
+        FcpAgent { graph, link_id_bits, base: None, routes: None }
+    }
+
+    /// An agent with the route memo enabled (identical decisions,
+    /// recompute cost paid once per distinct `(dest, carried)` key).
+    pub fn cached(graph: &'a Graph) -> FcpAgent<'a> {
+        FcpAgent { routes: Some(RefCell::new(RouteCache::default())), ..FcpAgent::new(graph) }
+    }
+
+    /// [`FcpAgent::cached`], additionally answering empty-carried
+    /// decisions straight from precomputed failure-free trees (the
+    /// scenario engine hoists exactly these).
+    pub fn cached_with_base(graph: &'a Graph, base: &'a AllPairs) -> FcpAgent<'a> {
+        FcpAgent { base: Some(base), ..FcpAgent::cached(graph) }
     }
 
     /// Bits one carried link id occupies in the header.
@@ -78,6 +124,40 @@ impl<'a> FcpAgent<'a> {
     /// carried failures.
     fn effective_failures(&self, state: &FcpState) -> LinkSet {
         LinkSet::from_links(self.graph.link_count(), state.carried.iter().copied())
+    }
+
+    /// The routing decision FCP's shortest-path computation yields at
+    /// `at` for this `(dest, carried)` key: the next dart and whether
+    /// `at` reaches `dest` at all in `G \ carried`.
+    fn route(&self, at: NodeId, dest: NodeId, state: &FcpState) -> (Option<Dart>, bool) {
+        let Some(routes) = &self.routes else {
+            let tree = SpTree::towards(self.graph, dest, &self.effective_failures(state));
+            return (tree.next_dart(at), tree.reaches(at));
+        };
+        if state.carried.is_empty() {
+            if let Some(base) = self.base {
+                let tree = base.towards(dest);
+                return (tree.next_dart(at), tree.reaches(at));
+            }
+        }
+        let mut cache = routes.borrow_mut();
+        let RouteCache { trees, probe } = &mut *cache;
+        // Keyed lookup without allocating: the probe buffer keeps its
+        // capacity across decisions; a fresh key Vec is cloned only on
+        // a miss.
+        probe.clone_from(&state.carried);
+        let key = (dest, std::mem::take(probe));
+        if !trees.contains_key(&key) {
+            if trees.len() >= ROUTE_CACHE_MAX_ENTRIES {
+                trees.clear();
+            }
+            let tree = SpTree::towards(self.graph, dest, &self.effective_failures(state));
+            trees.insert((key.0, key.1.clone()), tree);
+        }
+        let tree = &trees[&key];
+        let decision = (tree.next_dart(at), tree.reaches(at));
+        *probe = key.1;
+        decision
     }
 }
 
@@ -104,10 +184,9 @@ impl<'a> ForwardingAgent for FcpAgent<'a> {
             }
         }
         loop {
-            let known = self.effective_failures(state);
-            let tree = SpTree::towards(self.graph, dest, &known);
-            let Some(out) = tree.next_dart(at) else {
-                return if tree.reaches(at) {
+            let (next, reaches) = self.route(at, dest, state);
+            let Some(out) = next else {
+                return if reaches {
                     // at == dest is handled by the engine; reaching here
                     // with no next dart means the tree is degenerate.
                     ForwardDecision::Drop(DropReason::ProtocolViolation)
@@ -211,6 +290,33 @@ mod tests {
         assert_eq!(s.carried, vec![LinkId(1), LinkId(3), LinkId(5)]);
         assert!(s.knows(LinkId(3)));
         assert!(!s.knows(LinkId(2)));
+    }
+
+    #[test]
+    fn cached_agent_walks_are_identical_to_uncached() {
+        // Ring + chords gives multi-failure reroutes with several
+        // distinct carried sets per walk.
+        let mut g = generators::ring(8, 1);
+        g.add_link(NodeId(0), NodeId(4), 1).unwrap();
+        g.add_link(NodeId(2), NodeId(6), 1).unwrap();
+        let base = pr_graph::AllPairs::compute_all_live(&g);
+        let honest = FcpAgent::new(&g);
+        let cached = FcpAgent::cached(&g);
+        let seeded = FcpAgent::cached_with_base(&g, &base);
+        let ttl = generous_ttl(&g);
+        for (la, lb) in [(0u32, 4), (1, 5), (2, 9), (3, 8)] {
+            let failed =
+                LinkSet::from_links(g.link_count(), [pr_graph::LinkId(la), pr_graph::LinkId(lb)]);
+            for src in g.nodes() {
+                for dst in g.nodes() {
+                    let w0 = walk_packet(&g, &honest, src, dst, &failed, ttl);
+                    let w1 = walk_packet(&g, &cached, src, dst, &failed, ttl);
+                    let w2 = walk_packet(&g, &seeded, src, dst, &failed, ttl);
+                    assert_eq!(w0, w1, "cached diverged on l{la},l{lb} {src}->{dst}");
+                    assert_eq!(w0, w2, "seeded diverged on l{la},l{lb} {src}->{dst}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -4,14 +4,21 @@
 //! * **E7** — hop-count vs weighted-cost distance discriminator;
 //! * **E11** — delivery rate as a function of embedding genus (the
 //!   reproduction finding: §5's guarantee is a genus-0 statement).
+//!
+//! All three sweeps route through [`crate::engine`].
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
 
-use pr_core::{generous_ttl, walk_packet, DiscriminatorKind, PrMode, PrNetwork, WalkResult};
+use pr_core::{
+    generous_ttl, walk_packet_with, DiscriminatorKind, PrHeader, PrMode, PrNetwork, WalkResult,
+    WalkScratch,
+};
 use pr_embedding::{genus, CellularEmbedding, FaceStructure, RotationSystem};
-use pr_graph::{Graph, SpTree};
+use pr_graph::{AllPairs, Graph, LinkSet, SpTree};
+
+use crate::engine::ScenarioSweep;
 
 /// E6: one embedding heuristic's quality and its stretch consequences.
 #[derive(Debug, Clone, Serialize)]
@@ -34,7 +41,7 @@ pub struct EmbeddingAblationRow {
 
 /// Runs E6 on one topology: identity vs geometric vs hill-climb vs
 /// thorough.
-pub fn embedding_ablation(graph: &Graph, seed: u64) -> Vec<EmbeddingAblationRow> {
+pub fn embedding_ablation(graph: &Graph, seed: u64, threads: usize) -> Vec<EmbeddingAblationRow> {
     let geometric = RotationSystem::geometric(graph).ok();
     let mut candidates: Vec<(String, RotationSystem)> =
         vec![("identity".into(), RotationSystem::identity(graph))];
@@ -46,13 +53,18 @@ pub fn embedding_ablation(graph: &Graph, seed: u64) -> Vec<EmbeddingAblationRow>
     candidates
         .push(("thorough".into(), pr_embedding::heuristics::thorough(graph, seed, 6, 40_000)));
 
+    // Candidate-invariant state, hoisted out of the per-heuristic loop.
+    let scenarios = crate::scenario::all_single_failures(graph);
+    let base = AllPairs::compute_all_live(graph);
+
     candidates
         .into_iter()
         .map(|(name, rot)| {
             let faces = FaceStructure::trace(graph, &rot);
             let g = genus(graph, &faces).expect("connected topology");
             let emb = CellularEmbedding::new(graph, rot).expect("validated rotation");
-            let (mean, max, delivery) = single_failure_stretch(graph, &emb);
+            let (mean, max, delivery) =
+                single_failure_stretch(graph, &emb, &scenarios, &base, threads);
             EmbeddingAblationRow {
                 heuristic: name,
                 genus: g,
@@ -66,51 +78,85 @@ pub fn embedding_ablation(graph: &Graph, seed: u64) -> Vec<EmbeddingAblationRow>
         .collect()
 }
 
+/// Per-unit partial for the PR-DD-only sweeps: stretch samples in
+/// source order plus (evaluated, delivered) counts.
+#[derive(Debug, Default)]
+struct PrDdPartial {
+    stretches: Vec<f64>,
+    evaluated: u64,
+    delivered: u64,
+}
+
+/// Sweeps one compiled PR-DD network over `scenarios`, collecting
+/// stretch samples and delivery counts (the shared core of E6/E7).
+/// `base` is caller-hoisted: E6/E7 sweep the same graph once per
+/// candidate network, so the failure-free trees are shared across
+/// calls.
+fn pr_dd_sweep(
+    graph: &Graph,
+    net: &PrNetwork,
+    scenarios: &[LinkSet],
+    base: &AllPairs,
+    threads: usize,
+) -> PrDdPartial {
+    let agent = net.agent(graph);
+    let ttl = generous_ttl(graph);
+    let sweep = ScenarioSweep::new(graph, scenarios, base, threads);
+    let parts: Vec<PrDdPartial> = sweep.run(WalkScratch::<PrHeader>::new, |scratch, unit| {
+        let live_tree = SpTree::towards(graph, unit.dst, unit.failed);
+        let mut out = PrDdPartial::default();
+        for src in graph.nodes() {
+            if src == unit.dst {
+                continue;
+            }
+            if !unit.base_tree.path_crosses(graph, src, unit.failed) {
+                continue;
+            }
+            if !live_tree.reaches(src) {
+                continue;
+            }
+            out.evaluated += 1;
+            let w = walk_packet_with(graph, &agent, src, unit.dst, unit.failed, ttl, scratch);
+            if let WalkResult::Delivered = w.result {
+                out.delivered += 1;
+                out.stretches.push(w.cost(graph) as f64 / unit.base_tree.cost(src).unwrap() as f64);
+            }
+        }
+        out
+    });
+    let mut merged = PrDdPartial::default();
+    for part in parts {
+        merged.stretches.extend(part.stretches);
+        merged.evaluated += part.evaluated;
+        merged.delivered += part.delivered;
+    }
+    merged
+}
+
 /// Mean/max PR-DD stretch and delivery ratio over all single-failure
-/// affected pairs.
-fn single_failure_stretch(graph: &Graph, embedding: &CellularEmbedding) -> (f64, f64, f64) {
+/// affected pairs. `scenarios`/`base` are hoisted by the caller
+/// (identical for every heuristic candidate on one graph).
+fn single_failure_stretch(
+    graph: &Graph,
+    embedding: &CellularEmbedding,
+    scenarios: &[LinkSet],
+    base: &AllPairs,
+    threads: usize,
+) -> (f64, f64, f64) {
     let net = PrNetwork::compile(
         graph,
         embedding.clone(),
         PrMode::DistanceDiscriminator,
         DiscriminatorKind::Hops,
     );
-    let agent = net.agent(graph);
-    let ttl = generous_ttl(graph);
-    let mut stretches = Vec::new();
-    let mut evaluated = 0u64;
-    let mut delivered = 0u64;
-    for failed in crate::scenario::all_single_failures(graph) {
-        for dst in graph.nodes() {
-            let base_tree = SpTree::towards_all_live(graph, dst);
-            let live_tree = SpTree::towards(graph, dst, &failed);
-            for src in graph.nodes() {
-                if src == dst {
-                    continue;
-                }
-                let base_path = base_tree.path_darts(graph, src).expect("connected");
-                if !base_path.iter().any(|d| failed.contains_dart(*d)) {
-                    continue;
-                }
-                if !live_tree.reaches(src) {
-                    continue;
-                }
-                evaluated += 1;
-                let w = walk_packet(graph, &agent, src, dst, &failed, ttl);
-                if let WalkResult::Delivered = w.result {
-                    delivered += 1;
-                    stretches.push(w.cost(graph) as f64 / base_tree.cost(src).unwrap() as f64);
-                }
-            }
-        }
-    }
-    let mean = if stretches.is_empty() {
+    let r = pr_dd_sweep(graph, &net, scenarios, base, threads);
+    let mean = if r.stretches.is_empty() {
         f64::NAN
     } else {
-        stretches.iter().sum::<f64>() / stretches.len() as f64
+        r.stretches.iter().sum::<f64>() / r.stretches.len() as f64
     };
-    let max = stretches.iter().copied().fold(f64::NAN, f64::max);
-    let delivery = if evaluated == 0 { 1.0 } else { delivered as f64 / evaluated as f64 };
+    let max = r.stretches.iter().copied().fold(f64::NAN, f64::max);
+    let delivery = if r.evaluated == 0 { 1.0 } else { r.delivered as f64 / r.evaluated as f64 };
     (mean, max, delivery)
 }
 
@@ -135,50 +181,28 @@ pub fn discriminator_ablation(
     failures: usize,
     samples: usize,
     seed: u64,
+    threads: usize,
 ) -> Vec<DiscriminatorAblationRow> {
+    let scenarios = crate::scenario::sampled_multi_failures(graph, failures, samples, seed);
+    let base = AllPairs::compute_all_live(graph);
     [DiscriminatorKind::Hops, DiscriminatorKind::WeightedCost]
         .into_iter()
         .map(|kind| {
             let net =
                 PrNetwork::compile(graph, embedding.clone(), PrMode::DistanceDiscriminator, kind);
-            let agent = net.agent(graph);
-            let ttl = generous_ttl(graph);
-            let mut evaluated = 0u64;
-            let mut delivered = 0u64;
-            let mut stretches = Vec::new();
-            for failed in crate::scenario::sampled_multi_failures(graph, failures, samples, seed) {
-                for dst in graph.nodes() {
-                    let base_tree = SpTree::towards_all_live(graph, dst);
-                    let live_tree = SpTree::towards(graph, dst, &failed);
-                    for src in graph.nodes() {
-                        if src == dst {
-                            continue;
-                        }
-                        let base_path = base_tree.path_darts(graph, src).expect("connected");
-                        if !base_path.iter().any(|d| failed.contains_dart(*d)) {
-                            continue;
-                        }
-                        if !live_tree.reaches(src) {
-                            continue;
-                        }
-                        evaluated += 1;
-                        let w = walk_packet(graph, &agent, src, dst, &failed, ttl);
-                        if let WalkResult::Delivered = w.result {
-                            delivered += 1;
-                            stretches
-                                .push(w.cost(graph) as f64 / base_tree.cost(src).unwrap() as f64);
-                        }
-                    }
-                }
-            }
+            let r = pr_dd_sweep(graph, &net, &scenarios, &base, threads);
             DiscriminatorAblationRow {
                 discriminator: kind.to_string(),
                 header_bits: net.codec().total_bits(),
-                delivery: if evaluated == 0 { 1.0 } else { delivered as f64 / evaluated as f64 },
-                mean_stretch: if stretches.is_empty() {
+                delivery: if r.evaluated == 0 {
+                    1.0
+                } else {
+                    r.delivered as f64 / r.evaluated as f64
+                },
+                mean_stretch: if r.stretches.is_empty() {
                     f64::NAN
                 } else {
-                    stretches.iter().sum::<f64>() / stretches.len() as f64
+                    r.stretches.iter().sum::<f64>() / r.stretches.len() as f64
                 },
             }
         })
@@ -207,10 +231,12 @@ pub fn genus_delivery(
     failures: usize,
     scenarios_per_rotation: usize,
     seed: u64,
+    threads: usize,
 ) -> Vec<GenusDeliveryRow> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut bins: std::collections::BTreeMap<u32, GenusDeliveryRow> = Default::default();
     let ttl = generous_ttl(graph);
+    let base = AllPairs::compute_all_live(graph);
     for i in 0..rotations {
         let rot = RotationSystem::random(graph, &mut rng);
         let emb = CellularEmbedding::new(graph, rot).expect("connected topology");
@@ -221,24 +247,35 @@ pub fn genus_delivery(
         let row =
             bins.entry(g).or_insert_with(|| GenusDeliveryRow { genus: g, ..Default::default() });
         row.embeddings += 1;
-        for s in 0..scenarios_per_rotation {
-            let failed = crate::scenario::random_connected_failures(
-                graph,
-                failures,
-                seed ^ (i as u64) << 20 ^ s as u64,
-            );
-            for dst in graph.nodes() {
-                let live_tree = SpTree::towards(graph, dst, &failed);
-                for src in graph.nodes() {
-                    if src == dst || !live_tree.reaches(src) {
-                        continue;
-                    }
-                    row.evaluated += 1;
-                    if walk_packet(graph, &agent, src, dst, &failed, ttl).result.is_delivered() {
-                        row.delivered += 1;
-                    }
+        let scenarios: Vec<LinkSet> = (0..scenarios_per_rotation)
+            .map(|s| {
+                crate::scenario::random_connected_failures(
+                    graph,
+                    failures,
+                    seed ^ (i as u64) << 20 ^ s as u64,
+                )
+            })
+            .collect();
+        let sweep = ScenarioSweep::new(graph, &scenarios, &base, threads);
+        let parts: Vec<(u64, u64)> = sweep.run(WalkScratch::<PrHeader>::new, |scratch, unit| {
+            let live_tree = SpTree::towards(graph, unit.dst, unit.failed);
+            let (mut evaluated, mut delivered) = (0u64, 0u64);
+            for src in graph.nodes() {
+                if src == unit.dst || !live_tree.reaches(src) {
+                    continue;
+                }
+                evaluated += 1;
+                let walk =
+                    walk_packet_with(graph, &agent, src, unit.dst, unit.failed, ttl, scratch);
+                if walk.result.is_delivered() {
+                    delivered += 1;
                 }
             }
+            (evaluated, delivered)
+        });
+        for (evaluated, delivered) in parts {
+            row.evaluated += evaluated;
+            row.delivered += delivered;
         }
     }
     bins.into_values().collect()
@@ -253,7 +290,7 @@ mod tests {
     fn embedding_ablation_orders_heuristics() {
         let g =
             pr_topologies::load(pr_topologies::Isp::Abilene, pr_topologies::Weighting::Distance);
-        let rows = embedding_ablation(&g, 7);
+        let rows = embedding_ablation(&g, 7, 2);
         assert!(rows.len() >= 3);
         let thorough = rows.iter().find(|r| r.heuristic == "thorough").unwrap();
         assert_eq!(thorough.genus, 0, "thorough must find Abilene's planar embedding");
@@ -270,7 +307,7 @@ mod tests {
             pr_topologies::load(pr_topologies::Isp::Abilene, pr_topologies::Weighting::Distance);
         let rot = pr_embedding::heuristics::thorough(&g, 1, 4, 10_000);
         let emb = CellularEmbedding::new(&g, rot).unwrap();
-        let rows = discriminator_ablation(&g, &emb, 2, 5, 11);
+        let rows = discriminator_ablation(&g, &emb, 2, 5, 11, 2);
         assert_eq!(rows.len(), 2);
         let hops = &rows[0];
         let cost = &rows[1];
@@ -282,7 +319,7 @@ mod tests {
     #[test]
     fn genus_delivery_shows_the_finding_on_k5() {
         let g = generators::complete(5, 1);
-        let rows = genus_delivery(&g, 30, 3, 3, 99);
+        let rows = genus_delivery(&g, 30, 3, 3, 99, 2);
         assert!(!rows.is_empty());
         // K5 has no genus-0 rotation system.
         assert!(rows.iter().all(|r| r.genus >= 1));

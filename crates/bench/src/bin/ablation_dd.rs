@@ -2,16 +2,19 @@
 //! discriminator (§4.3 allows either). Both deliver identically on
 //! genus-0 embeddings; the difference is header bits.
 
-use pr_bench::{ablation, paper_topology, write_result, EXPERIMENT_SEED};
+use pr_bench::{ablation, engine, paper_topology, write_result, EXPERIMENT_SEED};
 use pr_topologies::Isp;
 
 fn main() {
-    println!("=== E7: distance-discriminator function ablation ===\n");
+    let threads = engine::threads_from_args();
+    println!("=== E7: distance-discriminator function ablation ===");
+    println!("    ({threads} worker threads)\n");
     let mut all = Vec::new();
     for isp in Isp::ALL {
         let (graph, embedding) = paper_topology(isp);
         let k = isp.paper_multi_failure_count();
-        let rows = ablation::discriminator_ablation(&graph, &embedding, k, 50, EXPERIMENT_SEED);
+        let rows =
+            ablation::discriminator_ablation(&graph, &embedding, k, 50, EXPERIMENT_SEED, threads);
         println!("{isp} (k={k} failures, 50 scenarios):");
         println!("  discriminator   header-bits  delivery  mean-stretch");
         for r in &rows {

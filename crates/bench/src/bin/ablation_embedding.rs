@@ -2,11 +2,13 @@
 //! stretch (the trade-off §7 of the paper gestures at: worse
 //! embeddings still work — on the sphere — but cost stretch).
 
-use pr_bench::{ablation, write_result, EXPERIMENT_SEED};
+use pr_bench::{ablation, engine, write_result, EXPERIMENT_SEED};
 use pr_topologies::{Isp, Weighting};
 
 fn main() {
-    println!("=== E6: embedding heuristic ablation (single-failure PR-DD stretch) ===\n");
+    let threads = engine::threads_from_args();
+    println!("=== E6: embedding heuristic ablation (single-failure PR-DD stretch) ===");
+    println!("    ({threads} worker threads)\n");
     let mut all = Vec::new();
     for isp in Isp::ALL {
         let graph = pr_topologies::load(isp, Weighting::Distance);
@@ -14,7 +16,7 @@ fn main() {
         println!(
             "  heuristic             genus  faces  max-face  mean-stretch  max-stretch  delivery"
         );
-        let rows = ablation::embedding_ablation(&graph, EXPERIMENT_SEED);
+        let rows = ablation::embedding_ablation(&graph, EXPERIMENT_SEED, threads);
         for r in &rows {
             println!(
                 "  {:<21} {:>5}  {:>5}  {:>8}  {:>12.3}  {:>11.3}  {:>8.4}",

@@ -4,12 +4,14 @@
 //! rotation systems push the surface genus up — including on K5, where
 //! *no* genus-0 embedding exists.
 
-use pr_bench::{ablation, write_result, EXPERIMENT_SEED};
+use pr_bench::{ablation, engine, write_result, EXPERIMENT_SEED};
 use pr_graph::generators;
 use pr_topologies::{Isp, Weighting};
 
 fn main() {
-    println!("=== E11: delivery vs embedding genus (random rotation systems) ===\n");
+    let threads = engine::threads_from_args();
+    println!("=== E11: delivery vs embedding genus (random rotation systems) ===");
+    println!("    ({threads} worker threads)\n");
     let mut all = Vec::new();
 
     let mut run = |name: &str, graph: &pr_graph::Graph, failures: usize| {
@@ -19,7 +21,7 @@ fn main() {
             graph.link_count()
         );
         println!("  genus  embeddings  evaluated  delivered  rate");
-        let rows = ablation::genus_delivery(graph, 60, failures, 5, EXPERIMENT_SEED);
+        let rows = ablation::genus_delivery(graph, 60, failures, 5, EXPERIMENT_SEED, threads);
         for r in &rows {
             println!(
                 "  {:>5}  {:>10}  {:>9}  {:>9}  {:.4}",

@@ -4,15 +4,17 @@
 //! as long as the network remains connected"), and LFA's partial
 //! protection for contrast.
 
-use pr_bench::{coverage, paper_topology, write_result, EXPERIMENT_SEED};
+use pr_bench::{coverage, engine, paper_topology, write_result, EXPERIMENT_SEED};
 use pr_topologies::Isp;
 
 fn main() {
-    println!("=== E5: delivery coverage, P(delivered | affected pair still connected) ===\n");
+    let threads = engine::threads_from_args();
+    println!("=== E5: delivery coverage, P(delivered | affected pair still connected) ===");
+    println!("    ({threads} worker threads)\n");
     for isp in Isp::ALL {
         let (graph, embedding) = paper_topology(isp);
         let max_failures = isp.paper_multi_failure_count();
-        let rows = coverage::run(&graph, &embedding, max_failures, 50, EXPERIMENT_SEED);
+        let rows = coverage::run(&graph, &embedding, max_failures, 50, EXPERIMENT_SEED, threads);
         println!(
             "{isp} ({} nodes / {} links, genus {}):",
             graph.node_count(),

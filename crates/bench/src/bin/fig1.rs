@@ -4,6 +4,7 @@
 
 use pr_core::{
     generous_ttl, DiscriminatorKind, ForwardDecision, ForwardingAgent, PrHeader, PrMode, PrNetwork,
+    WalkScratch,
 };
 use pr_embedding::{CellularEmbedding, RotationSystem};
 use pr_graph::{Graph, LinkSet, NodeId};
@@ -52,7 +53,9 @@ fn trace(graph: &Graph, net: &PrNetwork, src: NodeId, dst: NodeId, failed: LinkS
     let mut at = src;
     let mut ingress = None;
     let mut hops = 0usize;
-    let mut seen = std::collections::HashSet::new();
+    // The walker's own livelock detector, driven manually so the
+    // header state can be printed hop by hop.
+    let mut seen: WalkScratch<PrHeader> = WalkScratch::new();
     println!(
         "  failed links: {}",
         failed
@@ -69,7 +72,7 @@ fn trace(graph: &Graph, net: &PrNetwork, src: NodeId, dst: NodeId, failed: LinkS
             println!("  DELIVERED at {} after {hops} hops", graph.node_name(at));
             return;
         }
-        if hops >= ttl || !seen.insert((at, ingress, state)) {
+        if hops >= ttl || !seen.record(at, ingress, &state) {
             println!("  FORWARDING LOOP detected at {} (header {:?})", graph.node_name(at), state);
             return;
         }

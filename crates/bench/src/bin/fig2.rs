@@ -14,7 +14,7 @@
 //! Output: `results/fig2_<topology>_<single|multi>[_distance].csv`
 //! plus a summary table on stdout.
 
-use pr_bench::{paper_topology_with, scenario, stretch, write_result, EXPERIMENT_SEED};
+use pr_bench::{engine, paper_topology_with, scenario, stretch, write_result, EXPERIMENT_SEED};
 use pr_core::{DiscriminatorKind, PrMode, PrNetwork};
 use pr_topologies::{Isp, Weighting};
 
@@ -23,7 +23,9 @@ use pr_topologies::{Isp, Weighting};
 const MULTI_SAMPLES: usize = 200;
 
 fn main() {
+    let threads = engine::threads_from_args();
     println!("=== Figure 2: stretch CCDF, P(stretch > x | path) ===");
+    println!("    ({threads} worker threads)");
     let xs = stretch::figure2_xs();
 
     for (weighting, suffix) in [(Weighting::Hop, ""), (Weighting::Distance, "_distance")] {
@@ -52,7 +54,7 @@ fn main() {
 
             // Panels (a)-(c): exhaustive single failures.
             let single = scenario::all_single_failures(&graph);
-            let s_single = stretch::run(&graph, &pr, &single);
+            let s_single = stretch::run(&graph, &pr, &single, threads);
             write_result(
                 &format!("fig2_{isp}_single{suffix}.csv"),
                 &stretch::panel_csv(&s_single, &xs),
@@ -62,7 +64,7 @@ fn main() {
             // Panels (d)-(f): k concurrent failures, sampled.
             let k = isp.paper_multi_failure_count();
             let multi = scenario::sampled_multi_failures(&graph, k, MULTI_SAMPLES, EXPERIMENT_SEED);
-            let s_multi = stretch::run(&graph, &pr, &multi);
+            let s_multi = stretch::run(&graph, &pr, &multi, threads);
             write_result(
                 &format!("fig2_{isp}_multi{suffix}.csv"),
                 &stretch::panel_csv(&s_multi, &xs),

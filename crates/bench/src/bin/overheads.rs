@@ -1,18 +1,14 @@
 //! Experiment **E8**: the §6 overhead comparison, measured on the real
 //! header codecs and table structures.
 
-use pr_bench::{overheads, paper_topology, write_result};
+use pr_bench::{engine, overheads, write_result};
 use pr_topologies::Isp;
 
 fn main() {
-    println!("=== E8: header & state overheads (measured, not estimated) ===\n");
-    let reports: Vec<_> = Isp::ALL
-        .iter()
-        .map(|&isp| {
-            let (graph, embedding) = paper_topology(isp);
-            overheads::report(isp.name(), &graph, &embedding)
-        })
-        .collect();
+    let threads = engine::threads_from_args();
+    println!("=== E8: header & state overheads (measured, not estimated) ===");
+    println!("    ({threads} worker threads)\n");
+    let reports = overheads::reports_for(&Isp::ALL, threads);
     print!("{}", overheads::render(&reports));
     println!(
         "\nReading guide: PR's header is constant (1 bit basic; 1+ceil(log2(diameter)) bits in\n\

@@ -1,16 +1,27 @@
 //! Coverage experiment (E5): which schemes deliver, under how many
 //! concurrent failures — quantifying §4.2/§4.3's claims and RFC 5286's
 //! partial protection.
+//!
+//! The sweep itself routes through [`crate::engine`]: one work unit
+//! per (scenario, destination), per-worker walk scratches and FCP
+//! route caches, and a deterministic merge that makes the output
+//! bit-identical to [`run_serial`] at any thread count (enforced by
+//! `tests/determinism.rs`).
 
 use serde::Serialize;
 
 use pr_baselines::{FcpAgent, LfaAgent, NotViaAgent};
-use pr_core::{generous_ttl, walk_packet, DiscriminatorKind, PrMode, PrNetwork, WalkResult};
+use pr_core::{
+    generous_ttl, walk_packet, walk_packet_with, DiscriminatorKind, PrMode, PrNetwork, WalkResult,
+    WalkScratch,
+};
 use pr_embedding::CellularEmbedding;
-use pr_graph::{Graph, SpTree};
+use pr_graph::{AllPairs, Graph, SpTree};
+
+use crate::engine::ScenarioSweep;
 
 /// Delivery statistics for one scheme at one failure count.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
 pub struct CoverageCell {
     /// Affected-and-connected (scenario, pair) combinations evaluated.
     pub evaluated: u64,
@@ -27,10 +38,15 @@ impl CoverageCell {
             self.delivered as f64 / self.evaluated as f64
         }
     }
+
+    fn absorb(&mut self, (evaluated, delivered): (u64, u64)) {
+        self.evaluated += evaluated;
+        self.delivered += delivered;
+    }
 }
 
 /// One row of the coverage table: failure count → per-scheme cells.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct CoverageRow {
     /// Number of concurrent link failures in the scenarios of this row.
     pub failures: usize,
@@ -46,49 +62,203 @@ pub struct CoverageRow {
     pub notvia: CoverageCell,
 }
 
+impl CoverageRow {
+    fn empty(failures: usize) -> CoverageRow {
+        CoverageRow {
+            failures,
+            pr_basic: CoverageCell::default(),
+            pr_dd: CoverageCell::default(),
+            fcp: CoverageCell::default(),
+            lfa: CoverageCell::default(),
+            notvia: CoverageCell::default(),
+        }
+    }
+}
+
+/// The five schemes' compiled, failure-invariant state, hoisted out of
+/// every loop level.
+struct Compiled {
+    basic_net: PrNetwork,
+    dd_net: PrNetwork,
+    lfa: LfaAgent,
+    notvia: NotViaAgent,
+    ttl: usize,
+}
+
+impl Compiled {
+    fn new(graph: &Graph, embedding: &CellularEmbedding) -> Compiled {
+        Compiled {
+            basic_net: PrNetwork::compile(
+                graph,
+                embedding.clone(),
+                PrMode::Basic,
+                DiscriminatorKind::Hops,
+            ),
+            dd_net: PrNetwork::compile(
+                graph,
+                embedding.clone(),
+                PrMode::DistanceDiscriminator,
+                DiscriminatorKind::Hops,
+            ),
+            lfa: LfaAgent::compute(graph),
+            notvia: NotViaAgent::compute(graph),
+            ttl: generous_ttl(graph),
+        }
+    }
+}
+
+/// Per-(scenario, destination) partial result: `(evaluated, delivered)`
+/// per scheme, in [`CoverageRow`] field order.
+type UnitCells = [(u64, u64); 5];
+
+/// Per-worker mutable state: the FCP route cache and one walk scratch
+/// per header-state type, reused across every walk the worker runs.
+struct WorkerState<'a> {
+    fcp: FcpAgent<'a>,
+    pr_scratch: WalkScratch<pr_core::PrHeader>,
+    fcp_scratch: WalkScratch<pr_baselines::FcpState>,
+    unit_scratch: WalkScratch<()>,
+    notvia_scratch: WalkScratch<pr_baselines::NotViaState>,
+}
+
 /// Runs coverage for failure counts `1..=max_failures`, with
 /// `samples_per_count` sampled scenarios each (failure count 1 runs
-/// exhaustively instead).
+/// exhaustively instead), fanned out over `threads` workers.
 pub fn run(
     graph: &Graph,
     embedding: &CellularEmbedding,
     max_failures: usize,
     samples_per_count: usize,
     seed: u64,
+    threads: usize,
 ) -> Vec<CoverageRow> {
-    let pr_basic =
-        PrNetwork::compile(graph, embedding.clone(), PrMode::Basic, DiscriminatorKind::Hops);
-    let pr_dd = PrNetwork::compile(
-        graph,
-        embedding.clone(),
-        PrMode::DistanceDiscriminator,
-        DiscriminatorKind::Hops,
-    );
-    let fcp = FcpAgent::new(graph);
-    let lfa = LfaAgent::compute(graph);
-    let notvia = NotViaAgent::compute(graph);
-    let ttl = generous_ttl(graph);
-    let basic_agent = pr_basic.agent(graph);
-    let dd_agent = pr_dd.agent(graph);
+    let compiled = Compiled::new(graph, embedding);
+    let base = AllPairs::compute_all_live(graph);
+    let basic_agent = compiled.basic_net.agent(graph);
+    let dd_agent = compiled.dd_net.agent(graph);
 
     let mut rows = Vec::new();
     for k in 1..=max_failures {
-        let scenarios = if k == 1 {
-            crate::scenario::all_single_failures(graph)
-        } else {
-            crate::scenario::sampled_multi_failures(graph, k, samples_per_count, seed + k as u64)
-        };
-        let mut row = CoverageRow {
-            failures: k,
-            pr_basic: CoverageCell::default(),
-            pr_dd: CoverageCell::default(),
-            fcp: CoverageCell::default(),
-            lfa: CoverageCell::default(),
-            notvia: CoverageCell::default(),
-        };
+        let scenarios = scenarios_for(graph, k, samples_per_count, seed);
+        let sweep = ScenarioSweep::new(graph, &scenarios, &base, threads);
+        let parts: Vec<UnitCells> = sweep.run(
+            || WorkerState {
+                fcp: FcpAgent::cached_with_base(graph, sweep.base()),
+                pr_scratch: WalkScratch::new(),
+                fcp_scratch: WalkScratch::new(),
+                unit_scratch: WalkScratch::new(),
+                notvia_scratch: WalkScratch::new(),
+            },
+            |w, unit| {
+                let live_tree = SpTree::towards(graph, unit.dst, unit.failed);
+                let mut cells: UnitCells = Default::default();
+                for src in graph.nodes() {
+                    if src == unit.dst {
+                        continue;
+                    }
+                    if !unit.base_tree.path_crosses(graph, src, unit.failed) {
+                        continue;
+                    }
+                    if !live_tree.reaches(src) {
+                        continue; // "| path" conditioning
+                    }
+                    let ttl = compiled.ttl;
+                    let failed = unit.failed;
+                    let dst = unit.dst;
+                    let walks = [
+                        walk_packet_with(
+                            graph,
+                            &basic_agent,
+                            src,
+                            dst,
+                            failed,
+                            ttl,
+                            &mut w.pr_scratch,
+                        )
+                        .result,
+                        walk_packet_with(
+                            graph,
+                            &dd_agent,
+                            src,
+                            dst,
+                            failed,
+                            ttl,
+                            &mut w.pr_scratch,
+                        )
+                        .result,
+                        walk_packet_with(graph, &w.fcp, src, dst, failed, ttl, &mut w.fcp_scratch)
+                            .result,
+                        walk_packet_with(
+                            graph,
+                            &compiled.lfa,
+                            src,
+                            dst,
+                            failed,
+                            ttl,
+                            &mut w.unit_scratch,
+                        )
+                        .result,
+                        walk_packet_with(
+                            graph,
+                            &compiled.notvia,
+                            src,
+                            dst,
+                            failed,
+                            ttl,
+                            &mut w.notvia_scratch,
+                        )
+                        .result,
+                    ];
+                    for (cell, delivered) in cells.iter_mut().zip(walks) {
+                        cell.0 += 1;
+                        if matches!(delivered, WalkResult::Delivered) {
+                            cell.1 += 1;
+                        }
+                    }
+                }
+                cells
+            },
+        );
+
+        let mut row = CoverageRow::empty(k);
+        for part in parts {
+            row.pr_basic.absorb(part[0]);
+            row.pr_dd.absorb(part[1]);
+            row.fcp.absorb(part[2]);
+            row.lfa.absorb(part[3]);
+            row.notvia.absorb(part[4]);
+        }
+        rows.push(row);
+    }
+    rows
+}
+
+/// The serial reference implementation: the plain nested loop the seed
+/// harness ran (with the base-tree recompute hoisted out of the
+/// scenario loop — it never depended on the scenario) and the honest
+/// recompute-per-decision FCP agent. `run` must produce bit-identical
+/// rows at every thread count; benchmarks measure `run` against this.
+pub fn run_serial(
+    graph: &Graph,
+    embedding: &CellularEmbedding,
+    max_failures: usize,
+    samples_per_count: usize,
+    seed: u64,
+) -> Vec<CoverageRow> {
+    let compiled = Compiled::new(graph, embedding);
+    let base = AllPairs::compute_all_live(graph);
+    let basic_agent = compiled.basic_net.agent(graph);
+    let dd_agent = compiled.dd_net.agent(graph);
+    let fcp = FcpAgent::new(graph);
+    let ttl = compiled.ttl;
+
+    let mut rows = Vec::new();
+    for k in 1..=max_failures {
+        let scenarios = scenarios_for(graph, k, samples_per_count, seed);
+        let mut row = CoverageRow::empty(k);
         for failed in &scenarios {
             for dst in graph.nodes() {
-                let base_tree = SpTree::towards_all_live(graph, dst);
+                let base_tree = base.towards(dst);
                 let live_tree = SpTree::towards(graph, dst, failed);
                 for src in graph.nodes() {
                     if src == dst {
@@ -111,10 +281,13 @@ pub fn run(
                             walk_packet(graph, &dd_agent, src, dst, failed, ttl).result,
                         ),
                         (&mut row.fcp, walk_packet(graph, &fcp, src, dst, failed, ttl).result),
-                        (&mut row.lfa, walk_packet(graph, &lfa, src, dst, failed, ttl).result),
+                        (
+                            &mut row.lfa,
+                            walk_packet(graph, &compiled.lfa, src, dst, failed, ttl).result,
+                        ),
                         (
                             &mut row.notvia,
-                            walk_packet(graph, &notvia, src, dst, failed, ttl).result,
+                            walk_packet(graph, &compiled.notvia, src, dst, failed, ttl).result,
                         ),
                     ] {
                         cell.evaluated += 1;
@@ -128,6 +301,22 @@ pub fn run(
         rows.push(row);
     }
     rows
+}
+
+/// Scenario list for one failure count: exhaustive singles, sampled
+/// multis (shared by the engine and serial paths so they sweep the
+/// identical space).
+fn scenarios_for(
+    graph: &Graph,
+    k: usize,
+    samples_per_count: usize,
+    seed: u64,
+) -> Vec<pr_graph::LinkSet> {
+    if k == 1 {
+        crate::scenario::all_single_failures(graph)
+    } else {
+        crate::scenario::sampled_multi_failures(graph, k, samples_per_count, seed + k as u64)
+    }
 }
 
 /// Renders the coverage table as aligned text.
@@ -160,7 +349,7 @@ mod tests {
         let rot = pr_embedding::heuristics::thorough(&g, 2010, 4, 10_000);
         let emb = CellularEmbedding::new(&g, rot).unwrap();
         assert_eq!(emb.genus(), 0);
-        let rows = run(&g, &emb, 3, 10, 7);
+        let rows = run(&g, &emb, 3, 10, 7, 2);
 
         // Single failures: both PR modes and FCP at 100%; LFA partial.
         let r1 = &rows[0];

@@ -18,7 +18,13 @@
 //!
 //! Criterion micro-benchmarks (experiment E9: forwarding decision
 //! latency, table compilation, embedding search, FCP recompute cost)
-//! live under `benches/`.
+//! live under `benches/`, plus the end-to-end sweep benchmarks that
+//! back `BENCH_*.json`.
+//!
+//! Every scenario sweep routes through [`engine`] — the shared
+//! work-unit decomposition, hoisting and worker-pool layer. Binaries
+//! accept `--threads N` (default: all cores; see
+//! [`engine::threads_from_args`]).
 //!
 //! All binaries print a human-readable summary to stdout and write
 //! machine-readable CSV/JSON under `results/` (created on demand).
@@ -28,6 +34,7 @@
 
 pub mod ablation;
 pub mod coverage;
+pub mod engine;
 pub mod overheads;
 pub mod scenario;
 pub mod stretch;

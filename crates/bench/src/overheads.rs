@@ -7,6 +7,7 @@ use pr_baselines::FcpAgent;
 use pr_core::{DiscriminatorKind, MemoryFootprint, PrMode, PrNetwork};
 use pr_embedding::CellularEmbedding;
 use pr_graph::Graph;
+use pr_topologies::Isp;
 
 /// Per-topology overhead summary.
 #[derive(Debug, Clone, Serialize)]
@@ -38,6 +39,17 @@ pub struct OverheadReport {
     /// Flooding messages a reconvergence episode costs (2 LSAs per
     /// link as the standard estimate) — PR and FCP need none.
     pub reconvergence_flood_msgs: usize,
+}
+
+/// Builds the reports for a list of paper topologies, one worker per
+/// topology (the embedding search inside [`crate::paper_topology`] is
+/// the expensive part). Output order follows `isps` regardless of
+/// thread count, via the engine's deterministic merge.
+pub fn reports_for(isps: &[Isp], threads: usize) -> Vec<OverheadReport> {
+    crate::engine::parallel_map(isps, threads, |_, &isp| {
+        let (graph, embedding) = crate::paper_topology(isp);
+        report(isp.name(), &graph, &embedding)
+    })
 }
 
 /// Builds the overhead report for one topology.

@@ -6,12 +6,19 @@
 //! the cost of the path the scheme actually delivers over to the
 //! failure-free shortest-path cost (§6). Per panel and scheme, the
 //! paper plots the complementary CDF `P(stretch > x | path)`.
+//!
+//! The sweep routes through [`crate::engine`]; partial samples are
+//! concatenated in work-unit order, so [`run`] is bit-identical to
+//! [`run_serial`] at any thread count (enforced by
+//! `tests/determinism.rs`).
 
 use serde::Serialize;
 
-use pr_baselines::{FcpAgent, ReconvergenceAgent};
-use pr_core::{generous_ttl, walk_packet, PrNetwork, WalkResult};
+use pr_baselines::FcpAgent;
+use pr_core::{generous_ttl, walk_packet, walk_packet_with, PrNetwork, WalkResult, WalkScratch};
 use pr_graph::{AllPairs, Graph, LinkSet, SpTree};
+
+use crate::engine::ScenarioSweep;
 
 /// Scheme identifiers used in experiment output.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -39,7 +46,7 @@ impl Scheme {
 }
 
 /// Raw stretch samples per scheme, plus bookkeeping on conditioning.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub struct StretchSamples {
     /// Delivered-path stretch values, one per (scenario, affected pair).
     pub reconvergence: Vec<f64>,
@@ -66,12 +73,96 @@ impl StretchSamples {
             Scheme::PacketRecycling => &self.packet_recycling,
         }
     }
+
+    /// Appends another partial result (work-unit order must be
+    /// preserved by the caller for bit-identical output).
+    fn absorb(&mut self, part: StretchSamples) {
+        self.reconvergence.extend(part.reconvergence);
+        self.fcp.extend(part.fcp);
+        self.packet_recycling.extend(part.packet_recycling);
+        self.disconnected_pairs += part.disconnected_pairs;
+        self.evaluated_pairs += part.evaluated_pairs;
+        self.undelivered += part.undelivered;
+    }
 }
 
 /// Runs the stretch experiment for one topology over the given failure
-/// scenarios, using a precompiled PR network (its embedding is the
-/// expensive part — compile once, reuse across panels).
-pub fn run(graph: &Graph, pr: &PrNetwork, scenarios: &[LinkSet]) -> StretchSamples {
+/// scenarios on `threads` workers, using a precompiled PR network (its
+/// embedding is the expensive part — compile once, reuse across
+/// panels).
+pub fn run(graph: &Graph, pr: &PrNetwork, scenarios: &[LinkSet], threads: usize) -> StretchSamples {
+    let base = AllPairs::compute_all_live(graph);
+    let pr_agent = pr.agent(graph);
+    let ttl = generous_ttl(graph);
+
+    let sweep = ScenarioSweep::new(graph, scenarios, &base, threads);
+    let parts: Vec<StretchSamples> = sweep.run(
+        || {
+            (
+                FcpAgent::cached_with_base(graph, sweep.base()),
+                WalkScratch::<pr_baselines::FcpState>::new(),
+                WalkScratch::<pr_core::PrHeader>::new(),
+            )
+        },
+        |(fcp, fcp_scratch, pr_scratch), unit| {
+            let mut out = StretchSamples::default();
+            let live_tree = SpTree::towards(graph, unit.dst, unit.failed);
+            // The debug-build cross-check against the reconvergence
+            // agent's own tables (see `run_serial`) is per scenario
+            // there; here it would recompute per unit, so it lives in
+            // the serial reference only.
+            for src in graph.nodes() {
+                if src == unit.dst {
+                    continue;
+                }
+                if !unit.base_tree.path_crosses(graph, src, unit.failed) {
+                    continue;
+                }
+                if !live_tree.reaches(src) {
+                    out.disconnected_pairs += 1;
+                    continue;
+                }
+                out.evaluated_pairs += 1;
+                let optimal = unit.base_tree.cost(src).expect("connected");
+
+                // Reconvergence: the survivor shortest path, by
+                // definition — no need to walk it.
+                let reconv_cost = live_tree.cost(src).expect("connected");
+                out.reconvergence.push(reconv_cost as f64 / optimal as f64);
+
+                // FCP: walk with incremental failure discovery.
+                match walk_packet_with(graph, fcp, src, unit.dst, unit.failed, ttl, fcp_scratch) {
+                    w if w.result.is_delivered() => {
+                        out.fcp.push(w.cost(graph) as f64 / optimal as f64)
+                    }
+                    _ => out.undelivered += 1,
+                }
+
+                // PR: cycle following.
+                let w =
+                    walk_packet_with(graph, &pr_agent, src, unit.dst, unit.failed, ttl, pr_scratch);
+                match w.result {
+                    WalkResult::Delivered => {
+                        out.packet_recycling.push(w.cost(graph) as f64 / optimal as f64)
+                    }
+                    WalkResult::Dropped(_) => out.undelivered += 1,
+                }
+            }
+            out
+        },
+    );
+
+    let mut out = StretchSamples::default();
+    for part in parts {
+        out.absorb(part);
+    }
+    out
+}
+
+/// The serial reference implementation: the seed harness's nested loop
+/// with the honest recompute-per-decision FCP agent. [`run`] must be
+/// bit-identical to this at every thread count.
+pub fn run_serial(graph: &Graph, pr: &PrNetwork, scenarios: &[LinkSet]) -> StretchSamples {
     let base = AllPairs::compute_all_live(graph);
     let fcp = FcpAgent::new(graph);
     let pr_agent = pr.agent(graph);
@@ -79,7 +170,8 @@ pub fn run(graph: &Graph, pr: &PrNetwork, scenarios: &[LinkSet]) -> StretchSampl
     let mut out = StretchSamples::default();
 
     for failed in scenarios {
-        let reconv = ReconvergenceAgent::converged_on(graph, failed);
+        #[cfg(debug_assertions)]
+        let reconv = pr_baselines::ReconvergenceAgent::converged_on(graph, failed);
         for dst in graph.nodes() {
             let base_tree = base.towards(dst);
             let live_tree = SpTree::towards(graph, dst, failed);
@@ -104,6 +196,7 @@ pub fn run(graph: &Graph, pr: &PrNetwork, scenarios: &[LinkSet]) -> StretchSampl
                 // definition — no need to walk it.
                 let reconv_cost = live_tree.cost(src).expect("connected");
                 out.reconvergence.push(reconv_cost as f64 / optimal as f64);
+                #[cfg(debug_assertions)]
                 debug_assert_eq!(reconv.converged_cost(src, dst), Some(reconv_cost));
 
                 // FCP: walk with incremental failure discovery.
@@ -224,7 +317,7 @@ mod tests {
             pr_topologies::load(pr_topologies::Isp::Abilene, pr_topologies::Weighting::Distance);
         let pr = compile_pr(&g);
         let scenarios = scenario::all_single_failures(&g);
-        let samples = run(&g, &pr, &scenarios);
+        let samples = run(&g, &pr, &scenarios, 2);
 
         assert_eq!(samples.undelivered, 0, "all three schemes must deliver");
         assert_eq!(samples.disconnected_pairs, 0, "Abilene is 2-edge-connected");

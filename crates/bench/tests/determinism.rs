@@ -1,0 +1,93 @@
+//! The engine's contract: parallel sweeps are **bit-identical** to the
+//! serial reference, regardless of thread count.
+//!
+//! `coverage::run` / `stretch::run` fan (scenario × destination) work
+//! units over a racing worker pool, use per-worker FCP route caches,
+//! and merge partial results by unit index; `run_serial` is the plain
+//! nested loop with the honest recompute-per-decision FCP agent. Any
+//! divergence — a reordered sample, a cache changing a decision, a
+//! lost unit — fails these tests exactly.
+
+use pr_core::{DiscriminatorKind, PrMode, PrNetwork};
+use pr_embedding::{CellularEmbedding, RotationSystem};
+use pr_graph::Graph;
+use pr_topologies::{Isp, Weighting};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+const SEEDS: [u64; 2] = [7, 2010];
+
+/// A cheap (not necessarily genus-0) embedding: determinism must hold
+/// on livelock-prone embeddings too, where walks end in loop drops.
+fn identity_embedding(graph: &Graph) -> CellularEmbedding {
+    CellularEmbedding::new(graph, RotationSystem::identity(graph)).expect("connected topology")
+}
+
+/// A genus-0 embedding like the experiments use (cheap search budget).
+fn planar_embedding(graph: &Graph, seed: u64) -> CellularEmbedding {
+    let rot = pr_embedding::heuristics::thorough(graph, seed, 4, 10_000);
+    CellularEmbedding::new(graph, rot).expect("connected topology")
+}
+
+fn coverage_is_deterministic_on(graph: &Graph, embedding: &CellularEmbedding) {
+    for seed in SEEDS {
+        let reference = pr_bench::coverage::run_serial(graph, embedding, 2, 5, seed);
+        for threads in THREAD_COUNTS {
+            let rows = pr_bench::coverage::run(graph, embedding, 2, 5, seed, threads);
+            assert_eq!(
+                rows, reference,
+                "coverage rows diverged from serial at seed {seed}, {threads} threads"
+            );
+        }
+    }
+}
+
+fn stretch_is_deterministic_on(graph: &Graph, pr: &PrNetwork, scenarios: &[pr_graph::LinkSet]) {
+    let reference = pr_bench::stretch::run_serial(graph, pr, scenarios);
+    for threads in THREAD_COUNTS {
+        let samples = pr_bench::stretch::run(graph, pr, scenarios, threads);
+        // Full struct equality: f64 sample vectors compare bit-for-bit
+        // (every value is produced by the identical expression on the
+        // identical walk, in the identical order).
+        assert_eq!(samples, reference, "stretch samples diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn abilene_coverage_parallel_equals_serial() {
+    let g = pr_topologies::load(Isp::Abilene, Weighting::Distance);
+    coverage_is_deterministic_on(&g, &planar_embedding(&g, 2010));
+}
+
+#[test]
+fn teleglobe_coverage_parallel_equals_serial() {
+    let g = pr_topologies::load(Isp::Teleglobe, Weighting::Distance);
+    // Identity embedding: positive genus, so PR-basic (and possibly
+    // PR-DD) livelock on some pairs — drops must merge identically too.
+    coverage_is_deterministic_on(&g, &identity_embedding(&g));
+}
+
+#[test]
+fn abilene_stretch_parallel_equals_serial() {
+    let g = pr_topologies::load(Isp::Abilene, Weighting::Distance);
+    let emb = planar_embedding(&g, 2010);
+    let pr = PrNetwork::compile(&g, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
+    // Exhaustive single failures…
+    let singles = pr_bench::scenario::all_single_failures(&g);
+    stretch_is_deterministic_on(&g, &pr, &singles);
+    // …and sampled multi-failures at several seeds.
+    for seed in SEEDS {
+        let multi = pr_bench::scenario::sampled_multi_failures(&g, 3, 6, seed);
+        stretch_is_deterministic_on(&g, &pr, &multi);
+    }
+}
+
+#[test]
+fn teleglobe_stretch_parallel_equals_serial() {
+    let g = pr_topologies::load(Isp::Teleglobe, Weighting::Distance);
+    let emb = planar_embedding(&g, 2010);
+    let pr = PrNetwork::compile(&g, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
+    for seed in SEEDS {
+        let multi = pr_bench::scenario::sampled_multi_failures(&g, 2, 5, seed);
+        stretch_is_deterministic_on(&g, &pr, &multi);
+    }
+}

@@ -1,11 +1,8 @@
 //! The `pr` subcommands.
 
-use pr_baselines::{FcpAgent, ReconvergenceAgent};
-use pr_core::{
-    generous_ttl, trace_packet, walk_packet, DiscriminatorKind, PrMode, PrNetwork, TraceOutcome,
-};
+use pr_core::{generous_ttl, trace_packet, DiscriminatorKind, PrMode, PrNetwork, TraceOutcome};
 use pr_embedding::{heuristics, CellularEmbedding, RotationSystem};
-use pr_graph::{algo, Graph, LinkId, LinkSet, NodeId, SpTree};
+use pr_graph::{algo, Graph, LinkSet, NodeId, SpTree};
 
 use crate::args::Args;
 
@@ -18,7 +15,7 @@ USAGE:
     pr embed   <topology> [--seed N] [--restarts N] [--iterations N]
     pr tables  <topology> <node> [--seed N]
     pr walk    <topology> <src> <dst> [--fail A-B]... [--mode basic|dd] [--seed N]
-    pr stretch <topology> [--failures K] [--samples N] [--seed N]
+    pr stretch <topology> [--failures K] [--samples N] [--seed N] [--threads N]
 
 TOPOLOGY:
     abilene | teleglobe | geant | figure1 | path/to/file.topo";
@@ -203,91 +200,54 @@ pub fn walk(args: &Args) -> CmdResult {
     Ok(())
 }
 
-/// `pr stretch <topology> [--failures K] [--samples N]`.
+/// `pr stretch <topology> [--failures K] [--samples N] [--threads N]`.
+///
+/// Routes through the `pr-bench` scenario-sweep engine: the sweep is
+/// decomposed into (scenario × destination) work units and fanned out
+/// over `--threads` workers (default: all cores), with output
+/// bit-identical to the single-threaded run.
 pub fn stretch(args: &Args) -> CmdResult {
     let (graph, canonical) = load_topology(args.positional(0, "topology")?)?;
     let failures: usize = args.option_or("failures", 1)?;
     let samples: usize = args.option_or("samples", 100)?;
     let seed: u64 = args.option_or("seed", 2010)?;
+    let threads: usize = args.option_or("threads", pr_bench::engine::default_threads())?;
     let emb = resolve_embedding(&graph, canonical, args)?;
     println!("embedding genus {}", emb.genus());
     let net =
         PrNetwork::compile(&graph, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
-    let pr = net.agent(&graph);
-    let fcp = FcpAgent::new(&graph);
-    let ttl = generous_ttl(&graph);
 
     // Build scenarios: exhaustive singles, sampled multis.
     let scenarios: Vec<LinkSet> = if failures <= 1 {
-        graph.links().map(|l| LinkSet::from_links(graph.link_count(), [l])).collect()
+        pr_bench::scenario::all_single_failures(&graph)
     } else {
-        use rand::seq::SliceRandom;
-        use rand::SeedableRng;
-        (0..samples)
-            .map(|i| {
-                let mut rng = rand::rngs::StdRng::seed_from_u64(seed + i as u64);
-                let mut failed = LinkSet::empty(graph.link_count());
-                let mut candidates: Vec<LinkId> = graph.links().collect();
-                candidates.shuffle(&mut rng);
-                for l in candidates {
-                    if failed.len() >= failures {
-                        break;
-                    }
-                    if algo::connected_after(&graph, &failed, l) {
-                        failed.insert(l);
-                    }
-                }
-                failed
-            })
-            .collect()
+        pr_bench::scenario::sampled_multi_failures(&graph, failures, samples, seed)
     };
 
-    let mut rc = Vec::new();
-    let mut fc = Vec::new();
-    let mut pc = Vec::new();
-    let mut undelivered = 0u64;
-    for failed in &scenarios {
-        let _reconv = ReconvergenceAgent::converged_on(&graph, failed);
-        for dst in graph.nodes() {
-            let base = SpTree::towards_all_live(&graph, dst);
-            let live = SpTree::towards(&graph, dst, failed);
-            for src in graph.nodes() {
-                if src == dst {
-                    continue;
-                }
-                let path = base.path_darts(&graph, src).expect("connected base");
-                if !path.iter().any(|d| failed.contains_dart(*d)) || !live.reaches(src) {
-                    continue;
-                }
-                let optimal = base.cost(src).unwrap() as f64;
-                rc.push(live.cost(src).unwrap() as f64 / optimal);
-                let wf = walk_packet(&graph, &fcp, src, dst, failed, ttl);
-                fc.push(wf.cost(&graph) as f64 / optimal);
-                let wp = walk_packet(&graph, &pr, src, dst, failed, ttl);
-                if wp.result.is_delivered() {
-                    pc.push(wp.cost(&graph) as f64 / optimal);
-                } else {
-                    undelivered += 1;
-                }
-            }
-        }
-    }
-    let mean = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let s = pr_bench::stretch::run(&graph, &net, &scenarios, threads.max(1));
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
     println!(
-        "affected pairs: {} ({} scenarios, {} failures each), PR undelivered: {undelivered}",
-        rc.len(),
+        "affected pairs: {} ({} scenarios, {} failures each, {} threads), undelivered: {}",
+        s.evaluated_pairs,
         scenarios.len(),
-        failures
+        failures,
+        threads.max(1),
+        s.undelivered
     );
     println!(
         "mean stretch:  reconvergence {:.3}  fcp {:.3}  packet-recycling {:.3}",
-        mean(&rc),
-        mean(&fc),
-        mean(&pc)
+        mean(&s.reconvergence),
+        mean(&s.fcp),
+        mean(&s.packet_recycling)
     );
     for x in [1.0, 2.0, 3.0, 5.0, 10.0, 15.0] {
-        let p = |v: &Vec<f64>| v.iter().filter(|&&s| s > x).count() as f64 / v.len().max(1) as f64;
-        println!("P(stretch>{x:>4}): {:>12.4}  {:>8.4}  {:>8.4}", p(&rc), p(&fc), p(&pc));
+        let p = |v: &[f64]| v.iter().filter(|&&s| s > x).count() as f64 / v.len().max(1) as f64;
+        println!(
+            "P(stretch>{x:>4}): {:>12.4}  {:>8.4}  {:>8.4}",
+            p(&s.reconvergence),
+            p(&s.fcp),
+            p(&s.packet_recycling)
+        );
     }
     Ok(())
 }
@@ -330,6 +290,12 @@ mod tests {
         tables(&args("figure1 D")).unwrap();
         walk(&args("figure1 A F --fail D-E --fail B-C")).unwrap();
         stretch(&args("figure1 --failures 1")).unwrap();
+    }
+
+    #[test]
+    fn stretch_accepts_threads_and_multi_failures() {
+        stretch(&args("figure1 --failures 2 --samples 3 --threads 2")).unwrap();
+        stretch(&args("figure1 --failures 1 --threads 1")).unwrap();
     }
 
     #[test]

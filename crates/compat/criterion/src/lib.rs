@@ -13,6 +13,11 @@
 //! ```text
 //! bench: <group>/<name>[/<param>] ... <median> ns/iter (<samples> samples)
 //! ```
+//!
+//! Passing `--test` on the harness command line (i.e.
+//! `cargo bench -- --test`, mirroring real criterion) switches to
+//! **smoke mode**: every routine runs exactly once, untimed — CI uses
+//! this to catch bench-harness rot without paying for measurement.
 
 #![warn(rust_2018_idioms)]
 
@@ -25,6 +30,12 @@ const TARGET_SAMPLE_NS: u128 = 100_000_000;
 
 /// Upper bound on measurement samples per benchmark.
 const MAX_SAMPLES: usize = 25;
+
+/// `true` when the harness was invoked with `--test` (smoke mode).
+fn smoke_mode() -> bool {
+    static SMOKE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *SMOKE.get_or_init(|| std::env::args().any(|a| a == "--test"))
+}
 
 /// The harness entry point handed to each registered bench function.
 #[derive(Debug, Default)]
@@ -149,12 +160,23 @@ impl IntoBenchmarkId for String {
 pub struct Bencher {
     iters_per_sample: u64,
     samples: Vec<f64>,
+    /// Smoke mode: run the routine once, untimed.
+    quick: bool,
+    /// Whether `iter` was called at all (smoke-mode reporting).
+    ran: bool,
 }
 
 impl Bencher {
     /// Times `routine`, first calibrating how many iterations fit the
-    /// per-benchmark budget, then collecting per-sample medians.
+    /// per-benchmark budget, then collecting per-sample medians. In
+    /// smoke mode runs the routine exactly once instead.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        self.ran = true;
+        if self.quick {
+            black_box(routine());
+            self.iters_per_sample = 1;
+            return;
+        }
         // Calibrate: grow the batch until it takes ≥ ~1 ms.
         let mut iters: u64 = 1;
         loop {
@@ -192,9 +214,21 @@ impl Bencher {
     }
 }
 
-fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, mut f: F) {
-    let mut bencher = Bencher::default();
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, f: F) {
+    run_benchmark_mode(label, f, smoke_mode());
+}
+
+fn run_benchmark_mode<F: FnMut(&mut Bencher)>(label: &str, mut f: F, quick: bool) {
+    let mut bencher = Bencher { quick, ..Bencher::default() };
     f(&mut bencher);
+    if quick {
+        if bencher.ran {
+            println!("bench: {label} ... ok (smoke: 1 iteration)");
+        } else {
+            println!("bench: {label} ... no measurement (routine never called iter)");
+        }
+        return;
+    }
     if bencher.samples.is_empty() {
         println!("bench: {label} ... no measurement (routine never called iter)");
         return;
@@ -249,6 +283,20 @@ mod tests {
     #[test]
     fn harness_runs() {
         benches();
+    }
+
+    #[test]
+    fn smoke_mode_runs_routine_exactly_once() {
+        let mut calls = 0u32;
+        run_benchmark_mode(
+            "compat/smoke",
+            |b| {
+                b.iter(|| calls += 1);
+            },
+            true,
+        );
+        assert_eq!(calls, 1, "smoke mode must run the routine exactly once");
+        run_benchmark_mode("compat/never", |_b| {}, true);
     }
 
     #[test]

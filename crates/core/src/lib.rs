@@ -49,14 +49,16 @@
 
 mod agent;
 mod header;
+mod scratch;
 mod tables;
 pub mod trace;
 mod walker;
 
 pub use agent::{DropReason, ForwardDecision, ForwardingAgent, PrAgent, PrMode, PrNetwork};
 pub use header::{HeaderCodec, HeaderError, PrHeader};
+pub use scratch::{FxHasher64, WalkScratch};
 pub use tables::{
     CycleFollowingTable, CycleRow, DiscriminatorKind, MemoryFootprint, RoutingTables,
 };
 pub use trace::{trace_packet, HopRule, PacketTrace, TraceOutcome, TraceStep};
-pub use walker::{generous_ttl, walk_packet, Walk, WalkResult};
+pub use walker::{generous_ttl, walk_packet, walk_packet_with, Walk, WalkResult};

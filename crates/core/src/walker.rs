@@ -13,12 +13,15 @@
 //! triple proves the packet will cycle forever. This cleanly separates
 //! "basic mode loops under multi-failure" (§4.3's motivation) from
 //! "path is just long".
-
-use std::collections::HashSet;
+//!
+//! The detector state lives in a reusable [`WalkScratch`]: sweep-style
+//! callers hold one per scheme and call [`walk_packet_with`] so the
+//! steady state allocates nothing per walk. [`walk_packet`] remains as
+//! the convenient one-shot entry point.
 
 use pr_graph::{Dart, Graph, LinkSet, NodeId, Path};
 
-use crate::{DropReason, ForwardDecision, ForwardingAgent};
+use crate::{DropReason, ForwardDecision, ForwardingAgent, WalkScratch};
 
 /// Result of walking one packet.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -94,12 +97,31 @@ pub fn walk_packet<A: ForwardingAgent>(
 where
     A::State: std::hash::Hash + Eq,
 {
+    walk_packet_with(graph, agent, src, dest, failed, ttl, &mut WalkScratch::new())
+}
+
+/// [`walk_packet`] with a caller-provided [`WalkScratch`], reused
+/// across walks so the livelock detector allocates nothing in the
+/// steady state. The walker resets the scratch itself.
+#[allow(clippy::too_many_arguments)]
+pub fn walk_packet_with<A: ForwardingAgent>(
+    graph: &Graph,
+    agent: &A,
+    src: NodeId,
+    dest: NodeId,
+    failed: &LinkSet,
+    ttl: usize,
+    scratch: &mut WalkScratch<A::State>,
+) -> Walk
+where
+    A::State: std::hash::Hash + Eq,
+{
     let mut state = A::State::default();
     let mut path = Path::empty();
     let mut at = src;
     let mut ingress: Option<Dart> = None;
     let mut peak_header_bits = agent.header_bits(&state);
-    let mut seen: HashSet<(NodeId, Option<Dart>, A::State)> = HashSet::new();
+    scratch.reset();
 
     loop {
         if at == dest {
@@ -112,7 +134,7 @@ where
                 peak_header_bits,
             };
         }
-        if !seen.insert((at, ingress, state.clone())) {
+        if !scratch.record(at, ingress, &state) {
             return Walk {
                 result: WalkResult::Dropped(DropReason::ForwardingLoop),
                 path,
@@ -322,6 +344,24 @@ mod tests {
         let failed = LinkSet::from_links(g.link_count(), [pr_graph::LinkId(0)]);
         let walk = walk_packet(&g, &Blind, NodeId(0), NodeId(2), &failed, 10);
         assert_eq!(walk.result, WalkResult::Dropped(DropReason::ProtocolViolation));
+    }
+
+    #[test]
+    fn scratch_reuse_matches_one_shot_walks() {
+        let (g, net) = ring_net(PrMode::DistanceDiscriminator);
+        let agent = net.agent(&g);
+        let ttl = generous_ttl(&g);
+        let mut scratch = WalkScratch::new();
+        for failed_link in g.links() {
+            let failed = LinkSet::from_links(g.link_count(), [failed_link]);
+            for src in g.nodes() {
+                for dst in g.nodes() {
+                    let one_shot = walk_packet(&g, &agent, src, dst, &failed, ttl);
+                    let reused = walk_packet_with(&g, &agent, src, dst, &failed, ttl, &mut scratch);
+                    assert_eq!(one_shot, reused, "{failed_link} {src}->{dst}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -154,6 +154,23 @@ impl SpTree {
         Some(nodes)
     }
 
+    /// `true` if the tree path `from → dest` traverses a link in
+    /// `failed`. Walks the `next` chain without materialising it, so
+    /// the affected-pair test in scenario sweeps allocates nothing.
+    ///
+    /// Returns `false` when `from` cannot reach the destination (there
+    /// is no path to cross anything).
+    pub fn path_crosses(&self, graph: &Graph, from: NodeId, failed: &LinkSet) -> bool {
+        let mut at = from;
+        while let Some(d) = self.next[at.index()] {
+            if failed.contains_dart(d) {
+                return true;
+            }
+            at = graph.dart_head(d);
+        }
+        false
+    }
+
     /// Materialises the dart sequence `from → … → dest` using the graph.
     pub fn path_darts(&self, graph: &Graph, from: NodeId) -> Option<Vec<Dart>> {
         self.dist[from.index()]?;
@@ -361,6 +378,34 @@ mod tests {
         let t2 = SpTree::towards(&g, b, &failed);
         assert_eq!(t2.cost(a), Some(10));
         assert_eq!(t2.next_dart(a).unwrap().link(), heavy);
+    }
+
+    #[test]
+    fn path_crosses_matches_materialised_path() {
+        let (g, ids) = figure1_like();
+        let f = ids[5];
+        let t = SpTree::towards_all_live(&g, f);
+        for failed_link in g.links() {
+            let failed = LinkSet::from_links(g.link_count(), [failed_link]);
+            for src in g.nodes() {
+                let expected = t
+                    .path_darts(&g, src)
+                    .map(|p| p.iter().any(|d| failed.contains_dart(*d)))
+                    .unwrap_or(false);
+                assert_eq!(t.path_crosses(&g, src, &failed), expected, "{failed_link} {src}");
+            }
+        }
+    }
+
+    #[test]
+    fn path_crosses_is_false_for_unreachable_sources() {
+        let mut g = Graph::new();
+        let a = g.add_node("A");
+        let b = g.add_node("B");
+        let ab = g.add_link(a, b, 1).unwrap();
+        let failed = LinkSet::from_links(g.link_count(), [ab]);
+        let t = SpTree::towards(&g, b, &failed);
+        assert!(!t.path_crosses(&g, a, &failed), "no path, nothing to cross");
     }
 
     #[test]

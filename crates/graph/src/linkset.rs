@@ -39,11 +39,16 @@ impl LinkSet {
 
     /// A set containing every link `0..capacity`.
     pub fn full(capacity: usize) -> Self {
-        let mut s = Self::empty(capacity);
-        for i in 0..capacity {
-            s.insert(LinkId(i as u32));
+        // Fill whole words, then mask the partial tail word instead of
+        // setting bits one at a time.
+        let mut words = vec![!0u64; capacity.div_ceil(64)];
+        let tail = capacity % 64;
+        if tail != 0 {
+            if let Some(last) = words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
         }
-        s
+        Self { words, capacity }
     }
 
     /// Builds a set from an iterator of links.
@@ -209,6 +214,21 @@ mod tests {
         assert!(s.contains(LinkId(69)));
         s.clear();
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn full_masks_the_tail_word() {
+        for cap in [0usize, 1, 63, 64, 65, 128, 130] {
+            let s = LinkSet::full(cap);
+            assert_eq!(s.len(), cap, "capacity {cap}");
+            assert_eq!(s.iter().count(), cap, "capacity {cap}");
+            if cap > 0 {
+                assert!(s.contains(LinkId(cap as u32 - 1)));
+            }
+            // No stray bits beyond the capacity: equality with the
+            // one-at-a-time construction must hold exactly.
+            assert_eq!(s, LinkSet::from_links(cap, (0..cap as u32).map(LinkId)));
+        }
     }
 
     #[test]
