@@ -22,6 +22,8 @@ use pr_bench::{engine, paper_topology, scenario, EXPERIMENT_SEED};
 use pr_core::{DiscriminatorKind, PrMode, PrNetwork};
 use pr_embedding::CellularEmbedding;
 use pr_graph::{Graph, LinkSet};
+use pr_scenarios::{OutageParams, OutageSweep};
+use pr_sim::SimConfig;
 use pr_topologies::Isp;
 
 /// GÉANT — the largest paper topology, hence the headline sweep — with
@@ -87,5 +89,37 @@ fn sweep_stretch(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(sweeps, sweep_coverage, sweep_stretch);
+/// Temporal sweep (E10 shape generalised): the OC-192 outage family
+/// across **all** single-link failures of GÉANT, replayed through the
+/// discrete-event simulator under PR and a reconverging IGP. Short
+/// flows keep one iteration benchmark-sized; the scenario count and
+/// per-scenario work match the real experiment's shape.
+fn sweep_temporal(c: &mut Criterion) {
+    let (graph, _) = geant();
+    let pr = geant_pr();
+    let params = OutageParams {
+        interval_ns: 500_000, // 2 kpps
+        fail_at_ns: 10_000_000,
+        down_for_ns: 40_000_000,
+        igp_convergence_ns: 40_000_000,
+        duration_ns: 80_000_000,
+        ..OutageParams::default()
+    };
+    let family = OutageSweep::new(graph, params);
+    let config = SimConfig::default();
+    let mut group = c.benchmark_group("sweep_temporal");
+    group.bench_function("serial/geant", |b| {
+        b.iter(|| pr_bench::temporal::run_serial(graph, pr, &family, &config, EXPERIMENT_SEED))
+    });
+    group.bench_function("engine1/geant", |b| {
+        b.iter(|| pr_bench::temporal::run(graph, pr, &family, &config, EXPERIMENT_SEED, 1))
+    });
+    group.bench_function("engine_mt/geant", |b| {
+        let threads = engine::default_threads();
+        b.iter(|| pr_bench::temporal::run(graph, pr, &family, &config, EXPERIMENT_SEED, threads))
+    });
+    group.finish();
+}
+
+criterion_group!(sweeps, sweep_coverage, sweep_stretch, sweep_temporal);
 criterion_main!(sweeps);

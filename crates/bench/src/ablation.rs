@@ -17,6 +17,7 @@ use pr_core::{
 };
 use pr_embedding::{genus, CellularEmbedding, FaceStructure, RotationSystem};
 use pr_graph::{AllPairs, Graph, LinkSet, SpTree};
+use pr_scenarios::{SampledMultiFailures, ScenarioFamily, SingleLinkFailures};
 
 use crate::engine::ScenarioSweep;
 
@@ -53,8 +54,9 @@ pub fn embedding_ablation(graph: &Graph, seed: u64, threads: usize) -> Vec<Embed
     candidates
         .push(("thorough".into(), pr_embedding::heuristics::thorough(graph, seed, 6, 40_000)));
 
-    // Candidate-invariant state, hoisted out of the per-heuristic loop.
-    let scenarios = crate::scenario::all_single_failures(graph);
+    // Candidate-invariant state, hoisted out of the per-heuristic loop
+    // (the single-link family streams — nothing to materialise).
+    let scenarios = SingleLinkFailures::new(graph);
     let base = AllPairs::compute_all_live(graph);
 
     candidates
@@ -95,7 +97,7 @@ struct PrDdPartial {
 fn pr_dd_sweep(
     graph: &Graph,
     net: &PrNetwork,
-    scenarios: &[LinkSet],
+    scenarios: &dyn ScenarioFamily,
     base: &AllPairs,
     threads: usize,
 ) -> PrDdPartial {
@@ -139,7 +141,7 @@ fn pr_dd_sweep(
 fn single_failure_stretch(
     graph: &Graph,
     embedding: &CellularEmbedding,
-    scenarios: &[LinkSet],
+    scenarios: &dyn ScenarioFamily,
     base: &AllPairs,
     threads: usize,
 ) -> (f64, f64, f64) {
@@ -183,7 +185,7 @@ pub fn discriminator_ablation(
     seed: u64,
     threads: usize,
 ) -> Vec<DiscriminatorAblationRow> {
-    let scenarios = crate::scenario::sampled_multi_failures(graph, failures, samples, seed);
+    let scenarios = SampledMultiFailures::new(graph, failures, samples, seed);
     let base = AllPairs::compute_all_live(graph);
     [DiscriminatorKind::Hops, DiscriminatorKind::WeightedCost]
         .into_iter()
@@ -249,11 +251,21 @@ pub fn genus_delivery(
         row.embeddings += 1;
         let scenarios: Vec<LinkSet> = (0..scenarios_per_rotation)
             .map(|s| {
-                crate::scenario::random_connected_failures(
+                let draw = crate::scenario::random_connected_failures(
                     graph,
                     failures,
                     seed ^ (i as u64) << 20 ^ s as u64,
-                )
+                );
+                // A shortfall here means the caller asked for more
+                // concurrent failures than the graph's cycle space
+                // admits — the per-genus bins would silently mix
+                // failure counts.
+                assert!(
+                    draw.is_complete(),
+                    "graph cannot lose {failures} links (drew {} — lower the failure count)",
+                    draw.links.len()
+                );
+                draw.links
             })
             .collect();
         let sweep = ScenarioSweep::new(graph, &scenarios, &base, threads);

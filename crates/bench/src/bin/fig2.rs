@@ -14,8 +14,9 @@
 //! Output: `results/fig2_<topology>_<single|multi>[_distance].csv`
 //! plus a summary table on stdout.
 
-use pr_bench::{engine, paper_topology_with, scenario, stretch, write_result, EXPERIMENT_SEED};
+use pr_bench::{engine, paper_topology_with, stretch, write_result, EXPERIMENT_SEED};
 use pr_core::{DiscriminatorKind, PrMode, PrNetwork};
+use pr_scenarios::{SampledMultiFailures, ScenarioFamily, SingleLinkFailures};
 use pr_topologies::{Isp, Weighting};
 
 /// Sampled multi-failure scenarios per panel (the paper does not state
@@ -52,8 +53,8 @@ fn main() {
                 DiscriminatorKind::Hops,
             );
 
-            // Panels (a)-(c): exhaustive single failures.
-            let single = scenario::all_single_failures(&graph);
+            // Panels (a)-(c): exhaustive single failures (streamed).
+            let single = SingleLinkFailures::new(&graph);
             let s_single = stretch::run(&graph, &pr, &single, threads);
             write_result(
                 &format!("fig2_{isp}_single{suffix}.csv"),
@@ -61,9 +62,19 @@ fn main() {
             );
             print_panel("single", &s_single);
 
-            // Panels (d)-(f): k concurrent failures, sampled.
+            // Panels (d)-(f): k concurrent failures, sampled
+            // (deduplicated — duplicate scenarios used to double-count
+            // in the CCDF).
             let k = isp.paper_multi_failure_count();
-            let multi = scenario::sampled_multi_failures(&graph, k, MULTI_SAMPLES, EXPERIMENT_SEED);
+            let multi = SampledMultiFailures::new(&graph, k, MULTI_SAMPLES, EXPERIMENT_SEED);
+            // The paper's k values all fit inside each topology's
+            // cycle space, so every draw must reach k — a shortfall
+            // here would silently mix failure counts into the panel.
+            assert!(
+                multi.all_draws_complete(),
+                "{isp}: some sampled scenarios fell short of k={k}"
+            );
+            assert_eq!(multi.len(), MULTI_SAMPLES, "{isp}: dedup backfill fell short");
             let s_multi = stretch::run(&graph, &pr, &multi, threads);
             write_result(
                 &format!("fig2_{isp}_multi{suffix}.csv"),

@@ -17,6 +17,7 @@ use pr_core::{
 };
 use pr_embedding::CellularEmbedding;
 use pr_graph::{AllPairs, Graph, SpTree};
+use pr_scenarios::{SampledMultiFailures, ScenarioFamily, ScenarioIter, SingleLinkFailures};
 
 use crate::engine::ScenarioSweep;
 
@@ -140,7 +141,7 @@ pub fn run(
     let mut rows = Vec::new();
     for k in 1..=max_failures {
         let scenarios = scenarios_for(graph, k, samples_per_count, seed);
-        let sweep = ScenarioSweep::new(graph, &scenarios, &base, threads);
+        let sweep = ScenarioSweep::new(graph, scenarios.as_ref(), &base, threads);
         let parts: Vec<UnitCells> = sweep.run(
             || WorkerState {
                 fcp: FcpAgent::cached_with_base(graph, sweep.base()),
@@ -256,7 +257,8 @@ pub fn run_serial(
     for k in 1..=max_failures {
         let scenarios = scenarios_for(graph, k, samples_per_count, seed);
         let mut row = CoverageRow::empty(k);
-        for failed in &scenarios {
+        for failed in ScenarioIter::new(scenarios.as_ref()) {
+            let failed = &failed;
             for dst in graph.nodes() {
                 let base_tree = base.towards(dst);
                 let live_tree = SpTree::towards(graph, dst, failed);
@@ -303,19 +305,28 @@ pub fn run_serial(
     rows
 }
 
-/// Scenario list for one failure count: exhaustive singles, sampled
-/// multis (shared by the engine and serial paths so they sweep the
-/// identical space).
+/// Scenario family for one failure count: exhaustive singles
+/// (streaming), sampled multis (shared by the engine and serial paths
+/// so they sweep the identical space).
 fn scenarios_for(
     graph: &Graph,
     k: usize,
     samples_per_count: usize,
     seed: u64,
-) -> Vec<pr_graph::LinkSet> {
+) -> Box<dyn ScenarioFamily + '_> {
     if k == 1 {
-        crate::scenario::all_single_failures(graph)
+        Box::new(SingleLinkFailures::new(graph))
     } else {
-        crate::scenario::sampled_multi_failures(graph, k, samples_per_count, seed + k as u64)
+        let fam = SampledMultiFailures::new(graph, k, samples_per_count, seed + k as u64);
+        // A shortfall would aggregate smaller failure sets into the
+        // row labelled `failures = k` — the silent skew this harness
+        // refuses to report.
+        assert_eq!(
+            fam.incomplete_draws(),
+            0,
+            "graph cannot lose {k} links; lower the failure count"
+        );
+        Box::new(fam)
     }
 }
 

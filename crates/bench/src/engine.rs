@@ -29,6 +29,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use pr_graph::{AllPairs, Graph, LinkSet, NodeId, SpTree};
+use pr_scenarios::ScenarioFamily;
 
 /// Largest number of work units a worker claims per queue
 /// interaction. Units are coarse (a destination's whole source fan
@@ -110,11 +111,28 @@ where
     run_indexed(items.len(), threads, &|| (), &|(), idx| f(idx, &items[idx]))
 }
 
+/// The generic work-unit entry point: runs `work` over unit indices
+/// `0..count` on `threads` workers, each owning private state built by
+/// `init`, with results merged back in unit order (bit-identical to
+/// the serial loop `(0..count).map(...)` at any thread count).
+///
+/// [`ScenarioSweep`] specialises this to `(scenario × destination)`
+/// link-sweep units; temporal sweeps use it directly with one unit per
+/// timed scenario; any future experiment shape plugs in the same way.
+pub fn run_units<W, R, I, F>(count: usize, threads: usize, init: I, work: F) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> W + Sync,
+    F: Fn(&mut W, usize) -> R + Sync,
+{
+    run_indexed(count, threads, &init, &|w, idx| work(w, idx))
+}
+
 /// One unit of sweep work: every source towards `dst` under scenario
 /// `scenario`, with the hoisted failure-free tree already in hand.
 #[derive(Debug, Clone, Copy)]
 pub struct SweepUnit<'a> {
-    /// Index of the scenario in the sweep's scenario list.
+    /// Index of the scenario in the sweep's scenario family.
     pub scenario: usize,
     /// The scenario's failed links.
     pub failed: &'a LinkSet,
@@ -125,33 +143,47 @@ pub struct SweepUnit<'a> {
     pub base_tree: &'a SpTree,
 }
 
-/// A sweep over (scenario × destination) work units.
+/// A sweep over (scenario × destination) work units, **streaming** its
+/// scenarios from a [`ScenarioFamily`]: scenario `s` is constructed on
+/// the worker that claims its units (and cached while that worker
+/// stays on `s` — the chunked queue hands out contiguous unit ranges,
+/// so a scenario is typically built once per worker, not once per
+/// unit). No `Vec<LinkSet>` ever exists, which is what lets exhaustive
+/// k≥3 spaces and large generated topologies sweep at O(workers)
+/// scenario memory.
 ///
 /// Construction hoists nothing by itself — the caller supplies the
 /// [`AllPairs`] base trees so sweeps sharing a topology can also share
 /// the hoisted state (e.g. coverage's per-failure-count rounds).
-#[derive(Debug, Clone, Copy)]
+#[derive(Clone, Copy)]
 pub struct ScenarioSweep<'a> {
     graph: &'a Graph,
-    scenarios: &'a [LinkSet],
+    family: &'a dyn ScenarioFamily,
     base: &'a AllPairs,
     threads: usize,
 }
 
 impl<'a> ScenarioSweep<'a> {
-    /// A sweep of `scenarios` on `graph` using `threads` workers.
+    /// A sweep of `family`'s scenarios on `graph` using `threads`
+    /// workers. An explicit `Vec<LinkSet>` works too (it implements
+    /// [`ScenarioFamily`]).
     pub fn new(
         graph: &'a Graph,
-        scenarios: &'a [LinkSet],
+        family: &'a dyn ScenarioFamily,
         base: &'a AllPairs,
         threads: usize,
     ) -> ScenarioSweep<'a> {
-        ScenarioSweep { graph, scenarios, base, threads: threads.max(1) }
+        ScenarioSweep { graph, family, base, threads: threads.max(1) }
     }
 
     /// The topology under sweep.
     pub fn graph(&self) -> &'a Graph {
         self.graph
+    }
+
+    /// The scenario family under sweep.
+    pub fn family(&self) -> &'a dyn ScenarioFamily {
+        self.family
     }
 
     /// The hoisted failure-free trees.
@@ -166,7 +198,7 @@ impl<'a> ScenarioSweep<'a> {
 
     /// Total number of (scenario × destination) work units.
     pub fn unit_count(&self) -> usize {
-        self.scenarios.len() * self.graph.node_count()
+        self.family.len() * self.graph.node_count()
     }
 
     /// Executes the sweep. `init` builds one worker-local state (walk
@@ -181,17 +213,18 @@ impl<'a> ScenarioSweep<'a> {
         F: Fn(&mut W, SweepUnit<'_>) -> R + Sync,
     {
         let n = self.graph.node_count();
-        run_indexed(self.unit_count(), self.threads, &init, &|w, idx| {
+        // Worker state = caller state + the worker's current scenario
+        // (rebuilt only when the claimed unit crosses a scenario
+        // boundary).
+        let worker_init = || (init(), usize::MAX, LinkSet::empty(self.family.link_capacity()));
+        run_indexed(self.unit_count(), self.threads, &worker_init, &|state, idx| {
+            let (w, cached_scenario, failed) = state;
             let (scenario, dst) = (idx / n, NodeId((idx % n) as u32));
-            work(
-                w,
-                SweepUnit {
-                    scenario,
-                    failed: &self.scenarios[scenario],
-                    dst,
-                    base_tree: self.base.towards(dst),
-                },
-            )
+            if *cached_scenario != scenario {
+                *failed = self.family.scenario(scenario);
+                *cached_scenario = scenario;
+            }
+            work(w, SweepUnit { scenario, failed, dst, base_tree: self.base.towards(dst) })
         })
     }
 }

@@ -38,6 +38,7 @@ pub mod engine;
 pub mod overheads;
 pub mod scenario;
 pub mod stretch;
+pub mod temporal;
 
 use std::path::{Path, PathBuf};
 

@@ -1,53 +1,50 @@
 //! Failure-scenario construction shared by all experiments.
+//!
+//! The scenario model itself graduated to its own layer — the
+//! [`pr_scenarios`] crate, whose [`ScenarioFamily`] trait streams
+//! scenarios by index instead of materialising `Vec<LinkSet>`s. This
+//! module keeps the historical helper functions as thin delegates for
+//! callers that want explicit lists; sweeps should construct families
+//! and hand them to [`crate::engine::ScenarioSweep`] directly.
+//!
+//! [`ScenarioFamily`]: pr_scenarios::ScenarioFamily
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-
-use pr_graph::{algo, Graph, LinkId, LinkSet};
+use pr_graph::{Graph, LinkSet};
+use pr_scenarios::{FailureDraw, SampledMultiFailures, ScenarioFamily, SingleLinkFailures};
 
 /// Every single-link failure scenario of `graph` (exhaustive — this is
-/// what Figure 2(a–c) sweeps).
+/// what Figure 2(a–c) sweeps), as an explicit list.
+///
+/// Prefer streaming [`SingleLinkFailures`] in sweeps.
 pub fn all_single_failures(graph: &Graph) -> Vec<LinkSet> {
-    graph.links().map(|l| LinkSet::from_links(graph.link_count(), [l])).collect()
+    let fam = SingleLinkFailures::new(graph);
+    fam.scenarios().collect()
 }
 
-/// Samples a random non-disconnecting failure set of exactly `k` links
-/// (or as many as can be removed while staying connected), by
-/// shuffling the links and greedily failing those that keep the graph
-/// connected. Deterministic in `seed`.
-pub fn random_connected_failures(graph: &Graph, k: usize, seed: u64) -> LinkSet {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut failed = LinkSet::empty(graph.link_count());
-    let mut candidates: Vec<LinkId> = graph.links().collect();
-    candidates.shuffle(&mut rng);
-    for l in candidates {
-        if failed.len() >= k {
-            break;
-        }
-        if algo::connected_after(graph, &failed, l) {
-            failed.insert(l);
-        }
-    }
-    failed
+/// Samples a random non-disconnecting failure set of up to `k` links.
+/// Deterministic in `seed`. The returned [`FailureDraw`] makes any
+/// shortfall (the graph could not lose `k` links) explicit; callers
+/// that know their request is feasible assert
+/// [`FailureDraw::is_complete`].
+pub fn random_connected_failures(graph: &Graph, k: usize, seed: u64) -> FailureDraw {
+    pr_scenarios::random_connected_failures(graph, k, seed)
 }
 
-/// `count` sampled multi-failure scenarios (Figure 2(d–f) style).
+/// `count` sampled multi-failure scenarios (Figure 2(d–f) style),
+/// deduplicated and backfilled — see [`SampledMultiFailures`].
 pub fn sampled_multi_failures(
     graph: &Graph,
     k: usize,
     count: usize,
     base_seed: u64,
 ) -> Vec<LinkSet> {
-    (0..count)
-        .map(|i| random_connected_failures(graph, k, base_seed.wrapping_add(i as u64)))
-        .collect()
+    SampledMultiFailures::new(graph, k, count, base_seed).into_vec()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pr_graph::generators;
+    use pr_graph::{algo, generators, LinkId};
 
     #[test]
     fn single_failures_cover_every_link() {
@@ -61,11 +58,15 @@ mod tests {
     }
 
     #[test]
-    fn sampled_failures_preserve_connectivity() {
+    fn sampled_failures_preserve_connectivity_and_are_distinct() {
         let g = generators::complete(8, 1);
-        for f in sampled_multi_failures(&g, 10, 20, 99) {
+        let sets = sampled_multi_failures(&g, 10, 20, 99);
+        assert_eq!(sets.len(), 20);
+        let mut seen = std::collections::HashSet::new();
+        for f in sets {
             assert_eq!(f.len(), 10);
             assert!(algo::is_connected(&g, &f));
+            assert!(seen.insert(f), "duplicate scenario survived dedup");
         }
     }
 
@@ -76,10 +77,13 @@ mod tests {
     }
 
     #[test]
-    fn greedy_respects_bridges() {
-        // On a ring, at most one link can fail without disconnection.
+    fn greedy_respects_bridges_with_explicit_shortfall() {
+        // On a ring, at most one link can fail without disconnection —
+        // and the draw now says so instead of silently under-failing.
         let g = generators::ring(6, 1);
-        let f = random_connected_failures(&g, 4, 1);
-        assert_eq!(f.len(), 1, "a ring tolerates exactly one failure");
+        let draw = random_connected_failures(&g, 4, 1);
+        assert_eq!(draw.links.len(), 1, "a ring tolerates exactly one failure");
+        assert_eq!(draw.shortfall(), 3);
+        assert!(!draw.is_complete());
     }
 }

@@ -16,7 +16,8 @@ use serde::Serialize;
 
 use pr_baselines::FcpAgent;
 use pr_core::{generous_ttl, walk_packet, walk_packet_with, PrNetwork, WalkResult, WalkScratch};
-use pr_graph::{AllPairs, Graph, LinkSet, SpTree};
+use pr_graph::{AllPairs, Graph, SpTree};
+use pr_scenarios::{ScenarioFamily, ScenarioIter};
 
 use crate::engine::ScenarioSweep;
 
@@ -86,16 +87,22 @@ impl StretchSamples {
     }
 }
 
-/// Runs the stretch experiment for one topology over the given failure
-/// scenarios on `threads` workers, using a precompiled PR network (its
-/// embedding is the expensive part — compile once, reuse across
-/// panels).
-pub fn run(graph: &Graph, pr: &PrNetwork, scenarios: &[LinkSet], threads: usize) -> StretchSamples {
+/// Runs the stretch experiment for one topology over a failure
+/// family's scenarios on `threads` workers, using a precompiled PR
+/// network (its embedding is the expensive part — compile once, reuse
+/// across panels). Scenarios stream from the family; an explicit
+/// `Vec<LinkSet>` works too (it implements [`ScenarioFamily`]).
+pub fn run(
+    graph: &Graph,
+    pr: &PrNetwork,
+    family: &dyn ScenarioFamily,
+    threads: usize,
+) -> StretchSamples {
     let base = AllPairs::compute_all_live(graph);
     let pr_agent = pr.agent(graph);
     let ttl = generous_ttl(graph);
 
-    let sweep = ScenarioSweep::new(graph, scenarios, &base, threads);
+    let sweep = ScenarioSweep::new(graph, family, &base, threads);
     let parts: Vec<StretchSamples> = sweep.run(
         || {
             (
@@ -162,14 +169,15 @@ pub fn run(graph: &Graph, pr: &PrNetwork, scenarios: &[LinkSet], threads: usize)
 /// The serial reference implementation: the seed harness's nested loop
 /// with the honest recompute-per-decision FCP agent. [`run`] must be
 /// bit-identical to this at every thread count.
-pub fn run_serial(graph: &Graph, pr: &PrNetwork, scenarios: &[LinkSet]) -> StretchSamples {
+pub fn run_serial(graph: &Graph, pr: &PrNetwork, family: &dyn ScenarioFamily) -> StretchSamples {
     let base = AllPairs::compute_all_live(graph);
     let fcp = FcpAgent::new(graph);
     let pr_agent = pr.agent(graph);
     let ttl = generous_ttl(graph);
     let mut out = StretchSamples::default();
 
-    for failed in scenarios {
+    for failed in ScenarioIter::new(family) {
+        let failed = &failed;
         #[cfg(debug_assertions)]
         let reconv = pr_baselines::ReconvergenceAgent::converged_on(graph, failed);
         for dst in graph.nodes() {

@@ -4,13 +4,20 @@
 //! `coverage::run` / `stretch::run` fan (scenario × destination) work
 //! units over a racing worker pool, use per-worker FCP route caches,
 //! and merge partial results by unit index; `run_serial` is the plain
-//! nested loop with the honest recompute-per-decision FCP agent. Any
-//! divergence — a reordered sample, a cache changing a decision, a
-//! lost unit — fails these tests exactly.
+//! nested loop with the honest recompute-per-decision FCP agent.
+//! `temporal::run` fans one discrete-event simulation pair per timed
+//! scenario with per-scenario derived seeds. Any divergence — a
+//! reordered sample, a cache changing a decision, a shared RNG stream,
+//! a lost unit — fails these tests exactly.
 
 use pr_core::{DiscriminatorKind, PrMode, PrNetwork};
 use pr_embedding::{CellularEmbedding, RotationSystem};
 use pr_graph::Graph;
+use pr_scenarios::{
+    DetectionDelaySweep, FlapSweep, NodeFailures, OutageParams, OutageSweep, SampledMultiFailures,
+    ScenarioFamily, SingleLinkFailures, TemporalFamily,
+};
+use pr_sim::SimConfig;
 use pr_topologies::{Isp, Weighting};
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
@@ -41,14 +48,19 @@ fn coverage_is_deterministic_on(graph: &Graph, embedding: &CellularEmbedding) {
     }
 }
 
-fn stretch_is_deterministic_on(graph: &Graph, pr: &PrNetwork, scenarios: &[pr_graph::LinkSet]) {
-    let reference = pr_bench::stretch::run_serial(graph, pr, scenarios);
+fn stretch_is_deterministic_on(graph: &Graph, pr: &PrNetwork, family: &dyn ScenarioFamily) {
+    let reference = pr_bench::stretch::run_serial(graph, pr, family);
     for threads in THREAD_COUNTS {
-        let samples = pr_bench::stretch::run(graph, pr, scenarios, threads);
+        let samples = pr_bench::stretch::run(graph, pr, family, threads);
         // Full struct equality: f64 sample vectors compare bit-for-bit
         // (every value is produced by the identical expression on the
         // identical walk, in the identical order).
-        assert_eq!(samples, reference, "stretch samples diverged at {threads} threads");
+        assert_eq!(
+            samples,
+            reference,
+            "stretch samples diverged at {threads} threads ({})",
+            family.label()
+        );
     }
 }
 
@@ -71,12 +83,13 @@ fn abilene_stretch_parallel_equals_serial() {
     let g = pr_topologies::load(Isp::Abilene, Weighting::Distance);
     let emb = planar_embedding(&g, 2010);
     let pr = PrNetwork::compile(&g, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
-    // Exhaustive single failures…
-    let singles = pr_bench::scenario::all_single_failures(&g);
-    stretch_is_deterministic_on(&g, &pr, &singles);
+    // Exhaustive single failures, streamed…
+    stretch_is_deterministic_on(&g, &pr, &SingleLinkFailures::new(&g));
+    // …node failures, streamed…
+    stretch_is_deterministic_on(&g, &pr, &NodeFailures::new(&g));
     // …and sampled multi-failures at several seeds.
     for seed in SEEDS {
-        let multi = pr_bench::scenario::sampled_multi_failures(&g, 3, 6, seed);
+        let multi = SampledMultiFailures::new(&g, 3, 6, seed);
         stretch_is_deterministic_on(&g, &pr, &multi);
     }
 }
@@ -87,7 +100,68 @@ fn teleglobe_stretch_parallel_equals_serial() {
     let emb = planar_embedding(&g, 2010);
     let pr = PrNetwork::compile(&g, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
     for seed in SEEDS {
-        let multi = pr_bench::scenario::sampled_multi_failures(&g, 2, 5, seed);
+        let multi = SampledMultiFailures::new(&g, 2, 5, seed);
         stretch_is_deterministic_on(&g, &pr, &multi);
     }
+}
+
+// ---- temporal sweeps ---------------------------------------------------
+
+/// Abilene with its certified embedding, cheap search budget.
+fn abilene_net() -> (Graph, PrNetwork) {
+    let g = pr_topologies::load(Isp::Abilene, Weighting::Distance);
+    let emb = planar_embedding(&g, 2010);
+    let pr = PrNetwork::compile(&g, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
+    (g, pr)
+}
+
+/// Sweep-friendly outage parameters (short flows keep the test quick).
+fn quick_params() -> OutageParams {
+    OutageParams {
+        interval_ns: 500_000, // 2 kpps
+        fail_at_ns: 10_000_000,
+        down_for_ns: 40_000_000,
+        igp_convergence_ns: 40_000_000,
+        duration_ns: 80_000_000,
+        ..OutageParams::default()
+    }
+}
+
+fn temporal_is_deterministic_on(graph: &Graph, pr: &PrNetwork, family: &dyn TemporalFamily) {
+    let config = SimConfig::default();
+    for seed in SEEDS {
+        let reference = pr_bench::temporal::run_serial(graph, pr, family, &config, seed);
+        assert_eq!(reference.len(), family.len());
+        for threads in THREAD_COUNTS {
+            let rows = pr_bench::temporal::run(graph, pr, family, &config, seed, threads);
+            assert_eq!(
+                rows,
+                reference,
+                "temporal rows diverged from serial at seed {seed}, {threads} threads ({})",
+                family.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn abilene_outage_sweep_parallel_equals_serial() {
+    let (g, pr) = abilene_net();
+    temporal_is_deterministic_on(&g, &pr, &OutageSweep::new(&g, quick_params()));
+}
+
+#[test]
+fn abilene_flap_sweep_parallel_equals_serial() {
+    let (g, pr) = abilene_net();
+    let fam = FlapSweep::new(&g, quick_params()).with_holddown(8_000_000);
+    temporal_is_deterministic_on(&g, &pr, &fam);
+}
+
+#[test]
+fn abilene_detection_delay_sweep_parallel_equals_serial() {
+    let (g, pr) = abilene_net();
+    let link = g.links().next().unwrap();
+    let fam =
+        DetectionDelaySweep::new(&g, link, vec![0, 100_000, 1_000_000, 10_000_000], quick_params());
+    temporal_is_deterministic_on(&g, &pr, &fam);
 }

@@ -3,6 +3,10 @@
 use pr_core::{generous_ttl, trace_packet, DiscriminatorKind, PrMode, PrNetwork, TraceOutcome};
 use pr_embedding::{heuristics, CellularEmbedding, RotationSystem};
 use pr_graph::{algo, Graph, LinkSet, NodeId, SpTree};
+use pr_scenarios::{
+    ExhaustiveKFailures, FlapSweep, NodeFailures, OutageParams, OutageSweep, SampledMultiFailures,
+    ScenarioFamily, SingleLinkFailures, SrlgFailures, TemporalFamily,
+};
 
 use crate::args::Args;
 
@@ -16,6 +20,18 @@ USAGE:
     pr tables  <topology> <node> [--seed N]
     pr walk    <topology> <src> <dst> [--fail A-B]... [--mode basic|dd] [--seed N]
     pr stretch <topology> [--failures K] [--samples N] [--seed N] [--threads N]
+    pr sweep   <topology> --family <single|multi|node|srlg|exhaustive|outage|flap>
+               [--k N] [--samples N] [--radius KM] [--holddown-ms N]
+               [--seed N] [--threads N]
+
+FAMILIES (pr sweep):
+    single      every single-link failure (streamed exhaustively)
+    multi       sampled k-link failure sets (--k, --samples; deduplicated)
+    node        every node failure (all incident links)
+    srlg        geographically-correlated failures around each PoP (--radius km)
+    exhaustive  every k-subset of links, streamed by unranking (--k)
+    outage      timed outage of each link through the packet simulator
+    flap        timed flap trace on each link (--holddown-ms; simulator)
 
 TOPOLOGY:
     abilene | teleglobe | geant | figure1 | path/to/file.topo";
@@ -217,19 +233,20 @@ pub fn stretch(args: &Args) -> CmdResult {
     let net =
         PrNetwork::compile(&graph, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
 
-    // Build scenarios: exhaustive singles, sampled multis.
-    let scenarios: Vec<LinkSet> = if failures <= 1 {
-        pr_bench::scenario::all_single_failures(&graph)
+    // Build the scenario family: exhaustive singles (streamed),
+    // sampled multis (deduplicated).
+    let family: Box<dyn ScenarioFamily + '_> = if failures <= 1 {
+        Box::new(SingleLinkFailures::new(&graph))
     } else {
-        pr_bench::scenario::sampled_multi_failures(&graph, failures, samples, seed)
+        Box::new(SampledMultiFailures::new(&graph, failures, samples, seed))
     };
 
-    let s = pr_bench::stretch::run(&graph, &net, &scenarios, threads.max(1));
+    let s = pr_bench::stretch::run(&graph, &net, family.as_ref(), threads.max(1));
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
     println!(
         "affected pairs: {} ({} scenarios, {} failures each, {} threads), undelivered: {}",
         s.evaluated_pairs,
-        scenarios.len(),
+        family.len(),
         failures,
         threads.max(1),
         s.undelivered
@@ -248,6 +265,129 @@ pub fn stretch(args: &Args) -> CmdResult {
             p(&s.fcp),
             p(&s.packet_recycling)
         );
+    }
+    Ok(())
+}
+
+/// `pr sweep <topology> --family <...>`.
+///
+/// One front door to the scenario subsystem: picks a failure family
+/// (topological or temporal), fans it over the `pr-bench` work-unit
+/// engine on `--threads` workers, and prints a per-scheme summary.
+/// Topological families run the walker-based stretch/delivery sweep;
+/// temporal families replay each timed scenario through the
+/// discrete-event simulator under PR and a reconverging IGP.
+pub fn sweep(args: &Args) -> CmdResult {
+    let (graph, canonical) = load_topology(args.positional(0, "topology")?)?;
+    let family_name = args.option("family").unwrap_or("single");
+    let threads = args.option_or("threads", pr_bench::engine::default_threads())?.max(1);
+    let seed: u64 = args.option_or("seed", 2010)?;
+    let emb = resolve_embedding(&graph, canonical, args)?;
+    println!("embedding genus {}", emb.genus());
+    let net =
+        PrNetwork::compile(&graph, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
+
+    match family_name {
+        "outage" | "flap" => {
+            let params = OutageParams::default();
+            let family: Box<dyn TemporalFamily + '_> = match family_name {
+                "outage" => Box::new(OutageSweep::new(&graph, params)),
+                _ => {
+                    let holddown_ms: u64 = args.option_or("holddown-ms", 50)?;
+                    Box::new(FlapSweep::new(&graph, params).with_holddown(holddown_ms * 1_000_000))
+                }
+            };
+            let config = pr_sim::SimConfig::default();
+            let rows =
+                pr_bench::temporal::run(&graph, &net, family.as_ref(), &config, seed, threads);
+            let s = pr_bench::temporal::summarize(&rows);
+            println!(
+                "family {} ({} timed scenarios, {} threads)",
+                family.label(),
+                s.scenarios,
+                threads
+            );
+            println!("scheme              injected   delivered   lost   delivery");
+            for (scheme, delivered, dropped) in [
+                ("packet-recycling", s.pr_delivered, s.pr_dropped),
+                ("reconvergence", s.igp_delivered, s.igp_dropped),
+            ] {
+                println!(
+                    "{scheme:<18} {:>9}  {:>9}  {:>6}  {:>8.4}",
+                    s.injected,
+                    delivered,
+                    dropped,
+                    delivered as f64 / s.injected.max(1) as f64
+                );
+            }
+            if let Some(worst) = rows.iter().max_by_key(|r| r.pr.total_dropped()) {
+                println!(
+                    "worst PR scenario: {} ({} lost of {})",
+                    worst.label,
+                    worst.pr.total_dropped(),
+                    worst.pr.injected
+                );
+            }
+        }
+        topological => {
+            let family: Box<dyn ScenarioFamily + '_> = match topological {
+                "single" => Box::new(SingleLinkFailures::new(&graph)),
+                "node" => Box::new(NodeFailures::new(&graph)),
+                "multi" => {
+                    let k: usize = args.option_or("k", 2)?;
+                    let samples: usize = args.option_or("samples", 100)?;
+                    let fam = SampledMultiFailures::new(&graph, k, samples, seed);
+                    if fam.len() < samples {
+                        println!(
+                            "note: only {} distinct scenarios exist (asked for {samples})",
+                            fam.len()
+                        );
+                    }
+                    if !fam.all_draws_complete() {
+                        println!("note: the graph cannot lose {k} links; draws fell short");
+                    }
+                    Box::new(fam)
+                }
+                "srlg" => {
+                    if !graph.fully_located() {
+                        return Err("srlg needs PoP coordinates on every node \
+                                    (use a shipped ISP topology)"
+                            .into());
+                    }
+                    let radius: f64 = args.option_or("radius", 500.0)?;
+                    Box::new(SrlgFailures::new(&graph, radius))
+                }
+                "exhaustive" => {
+                    let k: usize = args.option_or("k", 2)?;
+                    Box::new(ExhaustiveKFailures::new(&graph, k))
+                }
+                other => {
+                    return Err(format!(
+                        "--family wants single|multi|node|srlg|exhaustive|outage|flap, \
+                         got {other:?}"
+                    )
+                    .into())
+                }
+            };
+            println!(
+                "family {} ({} scenarios, streamed, {} threads)",
+                family.label(),
+                family.len(),
+                threads
+            );
+            let s = pr_bench::stretch::run(&graph, &net, family.as_ref(), threads);
+            println!(
+                "affected connected pairs: {}, disconnected (excluded): {}, undelivered: {}",
+                s.evaluated_pairs, s.disconnected_pairs, s.undelivered
+            );
+            let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+            println!(
+                "mean stretch:  reconvergence {:.3}  fcp {:.3}  packet-recycling {:.3}",
+                mean(&s.reconvergence),
+                mean(&s.fcp),
+                mean(&s.packet_recycling)
+            );
+        }
     }
     Ok(())
 }
@@ -296,6 +436,25 @@ mod tests {
     fn stretch_accepts_threads_and_multi_failures() {
         stretch(&args("figure1 --failures 2 --samples 3 --threads 2")).unwrap();
         stretch(&args("figure1 --failures 1 --threads 1")).unwrap();
+    }
+
+    #[test]
+    fn sweep_runs_every_topological_family_on_figure1() {
+        for family in ["single", "node", "exhaustive"] {
+            sweep(&args(&format!("figure1 --family {family} --k 2 --threads 2"))).unwrap();
+        }
+        sweep(&args("figure1 --family multi --k 2 --samples 3")).unwrap();
+    }
+
+    #[test]
+    fn sweep_runs_srlg_on_a_located_topology() {
+        sweep(&args("abilene --family srlg --radius 800 --threads 2")).unwrap();
+    }
+
+    #[test]
+    fn sweep_rejects_unknown_family() {
+        assert!(sweep(&args("figure1 --family banana")).is_err());
+        assert!(sweep(&args("figure1 --family srlg")).is_err(), "figure1 has no coordinates");
     }
 
     #[test]

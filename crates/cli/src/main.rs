@@ -7,6 +7,7 @@
 //! pr tables  <topology> <node> [--seed N]
 //! pr walk    <topology> <src> <dst> [--fail A-B]... [--mode basic|dd] [--seed N]
 //! pr stretch <topology> [--failures K] [--samples N] [--seed N]
+//! pr sweep   <topology> --family <single|multi|node|srlg|exhaustive|outage|flap> [--threads N]
 //! ```
 //!
 //! `<topology>` is `abilene`, `teleglobe`, `geant`, `figure1`, or a
@@ -37,6 +38,7 @@ fn main() {
         "tables" => commands::tables(&parsed),
         "walk" => commands::walk(&parsed),
         "stretch" => commands::stretch(&parsed),
+        "sweep" => commands::sweep(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

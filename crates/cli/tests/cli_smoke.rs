@@ -74,6 +74,40 @@ fn info_runs_on_every_named_topology() {
 }
 
 #[test]
+fn sweep_runs_topological_and_temporal_families() {
+    // Topological family, streamed.
+    let out = run(&["sweep", "figure1", "--family", "node", "--threads", "2"]);
+    assert!(out.status.success(), "sweep node failed: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("family node"), "family header missing:\n{text}");
+    assert!(text.contains("mean stretch"), "stretch summary missing:\n{text}");
+
+    // Exhaustive k=2, streamed by unranking.
+    let out = run(&["sweep", "figure1", "--family", "exhaustive", "--k", "2"]);
+    assert!(out.status.success(), "sweep exhaustive failed: {}", stderr(&out));
+    assert!(stdout(&out).contains("family exhaustive-2 (36 scenarios"), "{}", stdout(&out));
+
+    // Temporal family through the discrete-event simulator.
+    let out = run(&["sweep", "figure1", "--family", "outage", "--threads", "2"]);
+    assert!(out.status.success(), "sweep outage failed: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("packet-recycling"), "scheme table missing:\n{text}");
+    assert!(text.contains("worst PR scenario"), "worst-case line missing:\n{text}");
+}
+
+#[test]
+fn sweep_rejects_unknown_family_and_srlg_without_coordinates() {
+    let out = run(&["sweep", "figure1", "--family", "cosmic-rays"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("cosmic-rays"));
+
+    // figure1 carries no PoP coordinates, so srlg must refuse clearly.
+    let out = run(&["sweep", "figure1", "--family", "srlg"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("coordinates"));
+}
+
+#[test]
 fn walk_delivers_around_a_failure_end_to_end() {
     // The paper's §4.3 walkthrough: A -> F on Figure 1 with D-E down.
     let out = run(&["walk", "figure1", "A", "F", "--fail", "D-E"]);

@@ -17,6 +17,25 @@ pub struct Coordinates {
     pub lat: f64,
 }
 
+impl Coordinates {
+    /// Great-circle distance to `other` in kilometres (haversine on a
+    /// 6371 km sphere).
+    ///
+    /// Lives on the graph layer because both the distance [`Weighting`]
+    /// of `pr-topologies` and the geographically-correlated (SRLG)
+    /// failure families of `pr-scenarios` need it.
+    ///
+    /// [`Weighting`]: https://docs.rs/pr-topologies
+    pub fn haversine_km(self, other: Coordinates) -> f64 {
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * 6371.0 * h.sqrt().asin()
+    }
+}
+
 /// One undirected link record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 struct LinkRecord {
@@ -364,6 +383,18 @@ mod tests {
         let c = g.coordinates(a).unwrap();
         assert_eq!(c.lon, -0.13);
         assert_eq!(c.lat, 51.52);
+    }
+
+    #[test]
+    fn haversine_on_coordinates() {
+        // London to New York is about 5570 km.
+        let london = Coordinates { lon: -0.13, lat: 51.51 };
+        let ny = Coordinates { lon: -74.01, lat: 40.71 };
+        let d = london.haversine_km(ny);
+        assert!((5400.0..5750.0).contains(&d), "got {d}");
+        assert!(london.haversine_km(london) < 1e-9);
+        // Symmetric.
+        assert!((d - ny.haversine_km(london)).abs() < 1e-9);
     }
 
     #[test]

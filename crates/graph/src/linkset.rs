@@ -135,6 +135,17 @@ impl LinkSet {
         }
     }
 
+    /// In-place set union `self |= other` (capacities must match).
+    /// Avoids the allocation of [`LinkSet::union`] in fold-style
+    /// accumulation (e.g. assembling a node failure from its incident
+    /// links, or an SRLG from its member links).
+    pub fn union_in_place(&mut self, other: &LinkSet) {
+        assert_eq!(self.capacity, other.capacity, "LinkSet capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
     /// Set difference `self \ other` (capacities must match).
     pub fn difference(&self, other: &LinkSet) -> LinkSet {
         assert_eq!(self.capacity, other.capacity, "LinkSet capacity mismatch");
@@ -205,6 +216,15 @@ mod tests {
         assert_eq!(d.iter().collect::<Vec<_>>(), vec![LinkId(1)]);
         assert!(d.is_subset(&a));
         assert!(!a.is_subset(&b));
+    }
+
+    #[test]
+    fn union_in_place_matches_union() {
+        let a = LinkSet::from_links(130, [LinkId(1), LinkId(64), LinkId(129)]);
+        let b = LinkSet::from_links(130, [LinkId(2), LinkId(64)]);
+        let mut c = a.clone();
+        c.union_in_place(&b);
+        assert_eq!(c, a.union(&b));
     }
 
     #[test]

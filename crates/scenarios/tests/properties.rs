@@ -1,0 +1,101 @@
+//! Property-based tests for the scenario families.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pr_graph::{algo, generators, Graph, LinkSet};
+use pr_scenarios::{
+    ExhaustiveKFailures, NodeFailures, SampledMultiFailures, ScenarioFamily, SingleLinkFailures,
+};
+
+/// A reproducible random 2-edge-connected graph.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (3usize..24, 0usize..12, 0u64..u64::MAX).prop_map(|(n, chords, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        generators::random_two_edge_connected(n, chords, 1..=8, &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A node-failure scenario is exactly the union of the single-link
+    /// failures of its incident links — the set-algebra identity the
+    /// family's documentation promises.
+    #[test]
+    fn node_failure_is_union_of_incident_single_failures(g in arb_graph()) {
+        let nodes = NodeFailures::new(&g);
+        let singles = SingleLinkFailures::new(&g);
+        prop_assert_eq!(nodes.len(), g.node_count());
+        for i in 0..nodes.len() {
+            let node_scenario = nodes.scenario(i);
+            let mut union = LinkSet::empty(g.link_count());
+            for dart in g.darts_from(nodes.node(i)) {
+                union.union_in_place(&singles.scenario(dart.link().index()));
+            }
+            prop_assert_eq!(&node_scenario, &union, "node {}", i);
+            // And it is never larger than the node's degree (parallel
+            // links collapse into the set).
+            prop_assert!(node_scenario.len() <= g.degree(nodes.node(i)));
+        }
+    }
+
+    /// Exhaustive-k unranking is a bijection onto the k-subsets: every
+    /// scenario has k links, all scenarios are distinct, and the count
+    /// matches C(m, k).
+    #[test]
+    fn exhaustive_k_is_a_bijection(g in arb_graph(), k in 1usize..4) {
+        let fam = ExhaustiveKFailures::new(&g, k);
+        let m = g.link_count();
+        let expected: usize = {
+            // C(m, k) computed the schoolbook way for the small test sizes.
+            let mut acc = 1usize;
+            for i in 0..k { acc = acc * (m - i) / (i + 1); }
+            acc
+        };
+        prop_assert_eq!(fam.len(), expected);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..fam.len() {
+            let s = fam.scenario(i);
+            prop_assert_eq!(s.len(), k, "rank {}", i);
+            prop_assert!(seen.insert(s), "duplicate subset at rank {}", i);
+        }
+    }
+
+    /// The connectivity-filtered exhaustive family keeps exactly the
+    /// subsets whose removal leaves the graph connected.
+    #[test]
+    fn connected_only_agrees_with_a_direct_filter(g in arb_graph()) {
+        let all = ExhaustiveKFailures::new(&g, 2);
+        let conn = ExhaustiveKFailures::connected_only(&g, 2);
+        let direct = (0..all.len())
+            .map(|i| all.scenario(i))
+            .filter(|s| algo::is_connected(&g, s))
+            .collect::<Vec<_>>();
+        prop_assert_eq!(conn.len(), direct.len());
+        for (i, expected) in direct.into_iter().enumerate() {
+            prop_assert_eq!(conn.scenario(i), expected);
+        }
+    }
+
+    /// Sampled multi-failure families never contain duplicates, never
+    /// disconnect the graph, and all draws are deterministic in the seed.
+    #[test]
+    fn sampled_families_are_distinct_connected_and_deterministic(
+        g in arb_graph(),
+        k in 1usize..4,
+        seed in 0u64..u64::MAX,
+    ) {
+        let fam = SampledMultiFailures::new(&g, k, 8, seed);
+        let again = SampledMultiFailures::new(&g, k, 8, seed);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..fam.len() {
+            let s = fam.scenario(i);
+            prop_assert_eq!(&s, &again.scenario(i));
+            prop_assert!(algo::is_connected(&g, &s));
+            prop_assert!(s.len() <= k);
+            prop_assert!(seen.insert(s), "duplicate at {}", i);
+        }
+    }
+}

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod driver;
 mod event;
 mod metrics;
 pub mod scenarios;
@@ -47,6 +48,7 @@ mod simulator;
 mod time;
 mod timed;
 
+pub use driver::{igp_for, run_scenario};
 pub use event::EventQueue;
 pub use metrics::{Metrics, SimDropReason};
 pub use simulator::{SimConfig, Simulator};

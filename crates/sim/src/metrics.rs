@@ -39,7 +39,11 @@ impl std::fmt::Display for SimDropReason {
 }
 
 /// Aggregated outcome of a simulation run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// `PartialEq`/`Eq` compare every counter exactly — the determinism
+/// tests assert parallel temporal sweeps equal their serial reference
+/// bit for bit.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Metrics {
     /// Packets handed to the network by traffic sources.
     pub injected: u64,

@@ -15,6 +15,8 @@
 //!   In between, packets aimed at the failed link are lost — the §1
 //!   quarter-million-packets story.
 
+use std::sync::Arc;
+
 use pr_core::{DropReason, ForwardDecision, ForwardingAgent};
 use pr_graph::{AllPairs, Dart, Graph, LinkSet, NodeId};
 
@@ -81,7 +83,10 @@ impl<A: ForwardingAgent> TimedForwarding for Static<A> {
 /// survivor shortest paths.
 #[derive(Debug, Clone)]
 pub struct ReconvergingIgp {
-    stale: AllPairs,
+    /// Pre-failure tables, failure-invariant — shared (`Arc`) so a
+    /// sweep over many scenarios hoists them once and each scenario's
+    /// agent costs one pointer copy, not an all-pairs copy.
+    stale: Arc<AllPairs>,
     converged: AllPairs,
     converged_at: SimTime,
 }
@@ -93,11 +98,26 @@ impl ReconvergingIgp {
     /// flooding + SPF + FIB install, collapsed into one number as in
     /// the paper's reconvergence discussion).
     pub fn new(graph: &Graph, failed: &LinkSet, converged_at: SimTime) -> ReconvergingIgp {
-        ReconvergingIgp {
-            stale: AllPairs::compute(graph, &LinkSet::empty(graph.link_count())),
-            converged: AllPairs::compute(graph, failed),
+        Self::with_stale(
+            Arc::new(AllPairs::compute(graph, &LinkSet::empty(graph.link_count()))),
+            graph,
+            failed,
             converged_at,
-        }
+        )
+    }
+
+    /// [`ReconvergingIgp::new`] with caller-supplied pre-failure
+    /// tables. The stale tables are failure-invariant, so a sweep over
+    /// many scenarios computes them once and shares them here at one
+    /// `Arc` bump per scenario, instead of re-running (or copying)
+    /// all-pairs Dijkstra each time.
+    pub fn with_stale(
+        stale: Arc<AllPairs>,
+        graph: &Graph,
+        failed: &LinkSet,
+        converged_at: SimTime,
+    ) -> ReconvergingIgp {
+        ReconvergingIgp { stale, converged: AllPairs::compute(graph, failed), converged_at }
     }
 
     /// The instant the survivor tables take effect.

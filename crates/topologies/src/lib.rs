@@ -108,15 +108,14 @@ impl std::fmt::Display for Isp {
     }
 }
 
-/// Great-circle distance between two coordinate pairs, in kilometres
-/// (haversine on a 6371 km sphere).
+/// Great-circle distance between two coordinate pairs, in kilometres.
+///
+/// Thin wrapper over [`pr_graph::Coordinates::haversine_km`] (the
+/// helper moved to the graph layer so the SRLG scenario families can
+/// use it too); kept here because the distance-weighting story of this
+/// crate is where most callers first meet it.
 pub fn haversine_km(a: pr_graph::Coordinates, b: pr_graph::Coordinates) -> f64 {
-    let (lat1, lon1) = (a.lat.to_radians(), a.lon.to_radians());
-    let (lat2, lon2) = (b.lat.to_radians(), b.lon.to_radians());
-    let dlat = lat2 - lat1;
-    let dlon = lon2 - lon1;
-    let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
-    2.0 * 6371.0 * h.sqrt().asin()
+    a.haversine_km(b)
 }
 
 /// Applies a [`Weighting`] to a parsed unit-weight graph by rebuilding

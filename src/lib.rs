@@ -48,6 +48,7 @@
 //! | [`embedding`] (`pr-embedding`) | rotation systems, face tracing, genus heuristics, planar generators |
 //! | [`core`] (`pr-core`) | PR protocol: header, tables, forwarding agent, packet walker |
 //! | [`baselines`] (`pr-baselines`) | FCP, reconvergence, LFA |
+//! | [`scenarios`] (`pr-scenarios`) | streaming failure families (single/multi/node/SRLG/exhaustive-k) + temporal traces |
 //! | [`sim`] (`pr-sim`) | deterministic discrete-event simulator, loss scenarios |
 //! | [`topologies`] (`pr-topologies`) | Abilene / GÉANT / Teleglobe + the Figure 1 fixture |
 //!
@@ -61,6 +62,7 @@ pub use pr_baselines as baselines;
 pub use pr_core as core;
 pub use pr_embedding as embedding;
 pub use pr_graph as graph;
+pub use pr_scenarios as scenarios;
 pub use pr_sim as sim;
 pub use pr_topologies as topologies;
 
@@ -77,12 +79,15 @@ pub mod prelude {
         algo, generators, stretch, AllPairs, Coordinates, Dart, Graph, LinkId, LinkSet, NodeId,
         Path, SpTree,
     };
+    pub use pr_scenarios::{ScenarioFamily, ScenarioIter, TemporalFamily, TemporalScenario};
     pub use pr_sim::{SimConfig, SimTime, Simulator, Static, TimedForwarding};
 
     /// Re-exported under a named module to avoid clashing with user
     /// identifiers: `use packet_recycling::prelude::*;` then
     /// `topologies::load(...)`.
     pub use pr_embedding as embedding;
+    /// Companion re-export of `pr-scenarios`; see `embedding` above.
+    pub use pr_scenarios as scenarios;
     /// Companion re-export of `pr-topologies`; see `embedding` above.
     pub use pr_topologies as topologies;
 }
