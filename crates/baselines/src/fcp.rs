@@ -24,7 +24,7 @@ use std::collections::HashMap;
 use std::hash::BuildHasherDefault;
 
 use pr_core::{DropReason, ForwardDecision, ForwardingAgent, FxHasher64};
-use pr_graph::{AllPairs, Dart, Graph, LinkId, LinkSet, NodeId, SpTree};
+use pr_graph::{AllPairs, Dart, Graph, LinkId, LinkSet, NodeId, SpScratch, SpTree};
 
 /// Per-packet FCP header: the sorted list of link failures the packet
 /// has learnt about.
@@ -53,13 +53,30 @@ impl FcpState {
 ///
 /// FCP's routing function depends *only* on that key, so the memo
 /// changes constants, never decisions: a hit returns the identical
-/// tree a recompute would produce. The probe key is a reusable buffer
-/// (`Vec::clone_from` keeps its allocation), so cache hits allocate
-/// nothing.
-#[derive(Debug, Clone, Default)]
+/// tree a recompute would produce. The probe key and the failure
+/// bitset are reusable buffers (`Vec::clone_from` keeps allocations),
+/// so cache hits allocate nothing; misses fill via incremental repair
+/// from the hoisted base trees (bit-identical to the recompute) using
+/// the cache's private Dijkstra arena.
+#[derive(Debug, Clone)]
 struct RouteCache {
     trees: HashMap<(NodeId, Vec<LinkId>), SpTree, BuildHasherDefault<FxHasher64>>,
     probe: Vec<LinkId>,
+    /// Reusable `G \ carried` bitset for miss recomputes.
+    failed_buf: LinkSet,
+    /// Reusable Dijkstra arena for miss recomputes.
+    scratch: SpScratch,
+}
+
+impl Default for RouteCache {
+    fn default() -> Self {
+        RouteCache {
+            trees: HashMap::default(),
+            probe: Vec::new(),
+            failed_buf: LinkSet::empty(0),
+            scratch: SpScratch::new(),
+        }
+    }
 }
 
 /// Entry bound after which a [`RouteCache`] is flushed wholesale. The
@@ -120,6 +137,28 @@ impl<'a> FcpAgent<'a> {
         self.link_id_bits
     }
 
+    /// Evicts the route memo at a scenario boundary.
+    ///
+    /// Within one scenario the memo's live keys are `(dest, subset of
+    /// the scenario's failures)` — a handful of entries. Across a
+    /// sweep those keys never repeat, so an unevicted memo grows
+    /// monotonically with the scenario count. The engine's
+    /// scenario-boundary hook calls this instead; decisions are
+    /// untouched (the memo is semantically transparent), only the
+    /// recompute cost of at most one scenario's keys is re-paid.
+    /// No-op on uncached agents.
+    pub fn begin_scenario(&self) {
+        if let Some(routes) = &self.routes {
+            routes.borrow_mut().trees.clear(); // keeps the map's capacity
+        }
+    }
+
+    /// Number of memoised `(dest, carried)` route entries (0 for
+    /// uncached agents) — observability for the eviction policy.
+    pub fn cached_routes(&self) -> usize {
+        self.routes.as_ref().map_or(0, |r| r.borrow().trees.len())
+    }
+
     /// The effective topology the packet routes on: base map minus
     /// carried failures.
     fn effective_failures(&self, state: &FcpState) -> LinkSet {
@@ -141,7 +180,7 @@ impl<'a> FcpAgent<'a> {
             }
         }
         let mut cache = routes.borrow_mut();
-        let RouteCache { trees, probe } = &mut *cache;
+        let RouteCache { trees, probe, failed_buf, scratch } = &mut *cache;
         // Keyed lookup without allocating: the probe buffer keeps its
         // capacity across decisions; a fresh key Vec is cloned only on
         // a miss.
@@ -151,7 +190,24 @@ impl<'a> FcpAgent<'a> {
             if trees.len() >= ROUTE_CACHE_MAX_ENTRIES {
                 trees.clear();
             }
-            let tree = SpTree::towards(self.graph, dest, &self.effective_failures(state));
+            // Rebuild the carried-failure bitset in place, then fill
+            // the miss by incremental repair from the hoisted base
+            // tree when one is available (bit-identical to the full
+            // recompute), else by an arena-backed full Dijkstra.
+            if failed_buf.capacity() != self.graph.link_count() {
+                *failed_buf = LinkSet::empty(self.graph.link_count());
+            } else {
+                failed_buf.clear();
+            }
+            for &l in &state.carried {
+                failed_buf.insert(l);
+            }
+            let tree = match self.base {
+                Some(base) => {
+                    SpTree::repair_from(base.towards(dest), self.graph, dest, failed_buf, scratch)
+                }
+                None => SpTree::towards_with(self.graph, dest, failed_buf, scratch),
+            };
             trees.insert((key.0, key.1.clone()), tree);
         }
         let tree = &trees[&key];
@@ -317,6 +373,45 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn scenario_eviction_keeps_decisions_identical_and_bounds_the_memo() {
+        // A sweep-shaped workload: many scenarios against one cached
+        // agent. Evicting at every scenario boundary must change no
+        // walk, and must keep the live entry count bounded by one
+        // scenario's keys instead of growing with the sweep.
+        let mut g = generators::ring(8, 1);
+        g.add_link(NodeId(0), NodeId(4), 1).unwrap();
+        g.add_link(NodeId(2), NodeId(6), 1).unwrap();
+        let base = pr_graph::AllPairs::compute_all_live(&g);
+        let unbounded = FcpAgent::cached_with_base(&g, &base);
+        let evicting = FcpAgent::cached_with_base(&g, &base);
+        let ttl = generous_ttl(&g);
+        let mut peak_evicting = 0;
+        for (la, lb) in [(0u32, 4), (1, 5), (2, 9), (3, 8), (0, 7), (2, 5)] {
+            evicting.begin_scenario();
+            let failed =
+                LinkSet::from_links(g.link_count(), [pr_graph::LinkId(la), pr_graph::LinkId(lb)]);
+            for src in g.nodes() {
+                for dst in g.nodes() {
+                    let w0 = walk_packet(&g, &unbounded, src, dst, &failed, ttl);
+                    let w1 = walk_packet(&g, &evicting, src, dst, &failed, ttl);
+                    assert_eq!(w0, w1, "eviction changed a decision on l{la},l{lb} {src}->{dst}");
+                }
+            }
+            peak_evicting = peak_evicting.max(evicting.cached_routes());
+        }
+        assert!(
+            evicting.cached_routes() < unbounded.cached_routes(),
+            "evicting agent must hold fewer live entries ({} vs {})",
+            evicting.cached_routes(),
+            unbounded.cached_routes()
+        );
+        assert!(peak_evicting <= unbounded.cached_routes());
+        // Uncached agents take the call as a no-op.
+        FcpAgent::new(&g).begin_scenario();
+        assert_eq!(FcpAgent::new(&g).cached_routes(), 0);
     }
 
     #[test]

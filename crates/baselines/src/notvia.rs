@@ -46,13 +46,15 @@ pub const ENCAP_BITS: usize = 160;
 
 impl NotViaAgent {
     /// Precomputes primary paths and all per-link detours from the
-    /// failure-free map.
+    /// failure-free map (one shared Dijkstra arena across the
+    /// `2 · links + nodes` tree builds).
     pub fn compute(graph: &Graph) -> NotViaAgent {
+        let mut scratch = pr_graph::SpScratch::new();
         let none = LinkSet::empty(graph.link_count());
         let n = graph.node_count();
         let mut primary = vec![vec![None; n]; n];
         for dest in graph.nodes() {
-            let tree = SpTree::towards(graph, dest, &none);
+            let tree = SpTree::towards_with(graph, dest, &none, &mut scratch);
             for node in graph.nodes() {
                 primary[dest.index()][node.index()] = tree.next_dart(node);
             }
@@ -63,8 +65,8 @@ impl NotViaAgent {
                 let (a, b) = graph.endpoints(l);
                 let without = LinkSet::from_links(graph.link_count(), [l]);
                 [
-                    SpTree::towards(graph, b, &without), // protects a -> b
-                    SpTree::towards(graph, a, &without), // protects b -> a
+                    SpTree::towards_with(graph, b, &without, &mut scratch), // protects a -> b
+                    SpTree::towards_with(graph, a, &without, &mut scratch), // protects b -> a
                 ]
             })
             .collect();

@@ -16,7 +16,7 @@ use pr_core::{
     WalkScratch,
 };
 use pr_embedding::{genus, CellularEmbedding, FaceStructure, RotationSystem};
-use pr_graph::{AllPairs, Graph, LinkSet, SpTree};
+use pr_graph::{AllPairs, Graph, LinkSet, SpScratch, SpTree};
 use pr_scenarios::{SampledMultiFailures, ScenarioFamily, SingleLinkFailures};
 
 use crate::engine::ScenarioSweep;
@@ -104,8 +104,10 @@ fn pr_dd_sweep(
     let agent = net.agent(graph);
     let ttl = generous_ttl(graph);
     let sweep = ScenarioSweep::new(graph, scenarios, base, threads);
-    let parts: Vec<PrDdPartial> = sweep.run(WalkScratch::<PrHeader>::new, |scratch, unit| {
-        let live_tree = SpTree::towards(graph, unit.dst, unit.failed);
+    let worker = || (WalkScratch::<PrHeader>::new(), SpScratch::new(), SpTree::placeholder());
+    let parts: Vec<PrDdPartial> = sweep.run(worker, |(scratch, sp_scratch, live), unit| {
+        live.repair_refresh(unit.base_tree, graph, unit.failed, sp_scratch);
+        let live_tree = &*live;
         let mut out = PrDdPartial::default();
         for src in graph.nodes() {
             if src == unit.dst {
@@ -269,8 +271,10 @@ pub fn genus_delivery(
             })
             .collect();
         let sweep = ScenarioSweep::new(graph, &scenarios, &base, threads);
-        let parts: Vec<(u64, u64)> = sweep.run(WalkScratch::<PrHeader>::new, |scratch, unit| {
-            let live_tree = SpTree::towards(graph, unit.dst, unit.failed);
+        let worker = || (WalkScratch::<PrHeader>::new(), SpScratch::new(), SpTree::placeholder());
+        let parts: Vec<(u64, u64)> = sweep.run(worker, |(scratch, sp_scratch, live), unit| {
+            live.repair_refresh(unit.base_tree, graph, unit.failed, sp_scratch);
+            let live_tree = &*live;
             let (mut evaluated, mut delivered) = (0u64, 0u64);
             for src in graph.nodes() {
                 if src == unit.dst || !live_tree.reaches(src) {

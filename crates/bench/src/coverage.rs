@@ -16,7 +16,7 @@ use pr_core::{
     WalkScratch,
 };
 use pr_embedding::CellularEmbedding;
-use pr_graph::{AllPairs, Graph, SpTree};
+use pr_graph::{AllPairs, Graph, SpScratch, SpTree};
 use pr_scenarios::{SampledMultiFailures, ScenarioFamily, ScenarioIter, SingleLinkFailures};
 
 use crate::engine::ScenarioSweep;
@@ -112,14 +112,18 @@ impl Compiled {
 /// per scheme, in [`CoverageRow`] field order.
 type UnitCells = [(u64, u64); 5];
 
-/// Per-worker mutable state: the FCP route cache and one walk scratch
-/// per header-state type, reused across every walk the worker runs.
+/// Per-worker mutable state: the FCP route cache, one walk scratch per
+/// header-state type, and the Dijkstra arena + reusable live tree for
+/// the per-unit incremental SPT repair — all reused across every walk
+/// the worker runs.
 struct WorkerState<'a> {
     fcp: FcpAgent<'a>,
     pr_scratch: WalkScratch<pr_core::PrHeader>,
     fcp_scratch: WalkScratch<pr_baselines::FcpState>,
     unit_scratch: WalkScratch<()>,
     notvia_scratch: WalkScratch<pr_baselines::NotViaState>,
+    sp_scratch: SpScratch,
+    live: SpTree,
 }
 
 /// Runs coverage for failure counts `1..=max_failures`, with
@@ -142,16 +146,23 @@ pub fn run(
     for k in 1..=max_failures {
         let scenarios = scenarios_for(graph, k, samples_per_count, seed);
         let sweep = ScenarioSweep::new(graph, scenarios.as_ref(), &base, threads);
-        let parts: Vec<UnitCells> = sweep.run(
+        let parts: Vec<UnitCells> = sweep.run_with(
             || WorkerState {
                 fcp: FcpAgent::cached_with_base(graph, sweep.base()),
                 pr_scratch: WalkScratch::new(),
                 fcp_scratch: WalkScratch::new(),
                 unit_scratch: WalkScratch::new(),
                 notvia_scratch: WalkScratch::new(),
+                sp_scratch: SpScratch::new(),
+                live: SpTree::placeholder(),
             },
+            // Scenario boundary: the FCP memo's keys are subsets of the
+            // departing scenario — evict instead of growing the map
+            // across the sweep.
+            |w, _| w.fcp.begin_scenario(),
             |w, unit| {
-                let live_tree = SpTree::towards(graph, unit.dst, unit.failed);
+                w.live.repair_refresh(unit.base_tree, graph, unit.failed, &mut w.sp_scratch);
+                let live_tree = &w.live;
                 let mut cells: UnitCells = Default::default();
                 for src in graph.nodes() {
                     if src == unit.dst {

@@ -212,6 +212,24 @@ impl<'a> ScenarioSweep<'a> {
         I: Fn() -> W + Sync,
         F: Fn(&mut W, SweepUnit<'_>) -> R + Sync,
     {
+        self.run_with(init, |_, _| (), work)
+    }
+
+    /// [`ScenarioSweep::run`] with a scenario-boundary hook: the engine
+    /// already tracks when a worker's claimed unit crosses into a new
+    /// scenario (to rebuild its cached [`LinkSet`]), so `on_scenario`
+    /// fires exactly there — once per (worker, scenario) visit, before
+    /// any of that scenario's units run on the worker. This is where
+    /// per-scenario worker state gets evicted (e.g. the FCP route
+    /// memo, whose live keys are subsets of the current scenario — see
+    /// `FcpAgent::begin_scenario` in pr-baselines).
+    pub fn run_with<W, R, I, B, F>(&self, init: I, on_scenario: B, work: F) -> Vec<R>
+    where
+        R: Send,
+        I: Fn() -> W + Sync,
+        B: Fn(&mut W, usize) + Sync,
+        F: Fn(&mut W, SweepUnit<'_>) -> R + Sync,
+    {
         let n = self.graph.node_count();
         // Worker state = caller state + the worker's current scenario
         // (rebuilt only when the claimed unit crosses a scenario
@@ -223,6 +241,7 @@ impl<'a> ScenarioSweep<'a> {
             if *cached_scenario != scenario {
                 *failed = self.family.scenario(scenario);
                 *cached_scenario = scenario;
+                on_scenario(w, scenario);
             }
             work(w, SweepUnit { scenario, failed, dst, base_tree: self.base.towards(dst) })
         })
@@ -351,6 +370,41 @@ mod tests {
         // Every worker's local counter starts at 1 and never exceeds
         // the unit total.
         assert!(per_unit.iter().all(|&c| c >= 1 && c <= sweep.unit_count()));
+    }
+
+    #[test]
+    fn scenario_hook_fires_once_per_worker_scenario_visit() {
+        let g = generators::ring(4, 1);
+        let base = AllPairs::compute_all_live(&g);
+        let scenarios = vec![LinkSet::empty(g.link_count()); 6];
+        // Serial worker: contiguous units, so the hook must fire
+        // exactly once per scenario, before that scenario's units.
+        let sweep = ScenarioSweep::new(&g, &scenarios, &base, 1);
+        let log = sweep.run_with(
+            Vec::new,
+            |seen: &mut Vec<usize>, s| seen.push(s),
+            |seen, u| (seen.clone(), u.scenario),
+        );
+        for (boundaries, scenario) in &log {
+            // Every unit has already seen its own scenario's boundary…
+            assert_eq!(boundaries.last(), Some(scenario));
+            // …and boundaries arrive in order, without repeats.
+            assert_eq!(*boundaries, (0..=*scenario).collect::<Vec<_>>());
+        }
+        // Parallel workers: each worker sees a boundary before any unit
+        // of a scenario it claims; unit order is still deterministic.
+        for threads in [2, 4] {
+            let sweep = ScenarioSweep::new(&g, &scenarios, &base, threads);
+            let got = sweep.run_with(
+                || None,
+                |current: &mut Option<usize>, s| *current = Some(s),
+                |current, u| (*current, u.scenario),
+            );
+            assert_eq!(got.len(), sweep.unit_count());
+            for (seen, scenario) in got {
+                assert_eq!(seen, Some(scenario), "{threads} threads");
+            }
+        }
     }
 
     #[test]

@@ -16,7 +16,7 @@ use serde::Serialize;
 
 use pr_baselines::FcpAgent;
 use pr_core::{generous_ttl, walk_packet, walk_packet_with, PrNetwork, WalkResult, WalkScratch};
-use pr_graph::{AllPairs, Graph, SpTree};
+use pr_graph::{AllPairs, Graph, RepairStats, SpScratch, SpTree};
 use pr_scenarios::{ScenarioFamily, ScenarioIter};
 
 use crate::engine::ScenarioSweep;
@@ -98,22 +98,50 @@ pub fn run(
     family: &dyn ScenarioFamily,
     threads: usize,
 ) -> StretchSamples {
+    run_with_stats(graph, pr, family, threads).0
+}
+
+/// Per-worker mutable state of the stretch sweep.
+struct StretchWorker<'a> {
+    fcp: FcpAgent<'a>,
+    fcp_scratch: WalkScratch<pr_baselines::FcpState>,
+    pr_scratch: WalkScratch<pr_core::PrHeader>,
+    sp_scratch: SpScratch,
+    live: SpTree,
+}
+
+/// [`run`], additionally reporting the incremental-repair statistics
+/// of the sweep's live-tree rebuilds (summed over work units in unit
+/// order, so the totals are thread-count invariant). This is what
+/// `pr sweep --stats` prints: the cone fraction is the share of
+/// per-destination labels a scenario actually forced us to recompute.
+pub fn run_with_stats(
+    graph: &Graph,
+    pr: &PrNetwork,
+    family: &dyn ScenarioFamily,
+    threads: usize,
+) -> (StretchSamples, RepairStats) {
     let base = AllPairs::compute_all_live(graph);
     let pr_agent = pr.agent(graph);
     let ttl = generous_ttl(graph);
 
     let sweep = ScenarioSweep::new(graph, family, &base, threads);
-    let parts: Vec<StretchSamples> = sweep.run(
-        || {
-            (
-                FcpAgent::cached_with_base(graph, sweep.base()),
-                WalkScratch::<pr_baselines::FcpState>::new(),
-                WalkScratch::<pr_core::PrHeader>::new(),
-            )
+    let parts: Vec<(StretchSamples, RepairStats)> = sweep.run_with(
+        || StretchWorker {
+            fcp: FcpAgent::cached_with_base(graph, sweep.base()),
+            fcp_scratch: WalkScratch::new(),
+            pr_scratch: WalkScratch::new(),
+            sp_scratch: SpScratch::new(),
+            live: SpTree::placeholder(),
         },
-        |(fcp, fcp_scratch, pr_scratch), unit| {
+        // Scenario boundary: evict the FCP route memo (its keys are
+        // subsets of the departing scenario's failures).
+        |w, _| w.fcp.begin_scenario(),
+        |w, unit| {
+            let StretchWorker { fcp, fcp_scratch, pr_scratch, sp_scratch, live } = w;
             let mut out = StretchSamples::default();
-            let live_tree = SpTree::towards(graph, unit.dst, unit.failed);
+            live.repair_refresh(unit.base_tree, graph, unit.failed, sp_scratch);
+            let live_tree = &*live;
             // The debug-build cross-check against the reconvergence
             // agent's own tables (see `run_serial`) is per scenario
             // there; here it would recompute per unit, so it lives in
@@ -155,15 +183,17 @@ pub fn run(
                     WalkResult::Dropped(_) => out.undelivered += 1,
                 }
             }
-            out
+            (out, sp_scratch.take_stats())
         },
     );
 
     let mut out = StretchSamples::default();
-    for part in parts {
+    let mut stats = RepairStats::default();
+    for (part, part_stats) in parts {
         out.absorb(part);
+        stats.merge(&part_stats);
     }
-    out
+    (out, stats)
 }
 
 /// The serial reference implementation: the seed harness's nested loop

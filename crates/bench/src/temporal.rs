@@ -26,9 +26,9 @@ use serde::Serialize;
 use std::sync::Arc;
 
 use pr_core::PrNetwork;
-use pr_graph::{AllPairs, Graph};
+use pr_graph::{AllPairs, Graph, SpScratch};
 use pr_scenarios::TemporalFamily;
-use pr_sim::{igp_for, run_scenario, Metrics, SimConfig, Static};
+use pr_sim::{igp_for_with, run_scenario, Metrics, SimConfig, Static};
 
 use crate::engine;
 
@@ -59,8 +59,10 @@ pub fn run(
     engine::run_units(
         family.len(),
         threads.max(1),
-        || (),
-        |(), i| run_one(graph, &agent, &stale, family, config, base_seed, i),
+        // One Dijkstra arena per worker: each unit's IGP tables are
+        // incrementally repaired from the hoisted stale trees.
+        SpScratch::new,
+        |scratch, i| run_one(graph, &agent, &stale, family, config, base_seed, i, scratch),
     )
 }
 
@@ -75,13 +77,16 @@ pub fn run_serial(
 ) -> Vec<TemporalRow> {
     let agent = Static(net.agent(graph));
     let stale = Arc::new(AllPairs::compute_all_live(graph));
+    let mut scratch = SpScratch::new();
     (0..family.len())
-        .map(|i| run_one(graph, &agent, &stale, family, config, base_seed, i))
+        .map(|i| run_one(graph, &agent, &stale, family, config, base_seed, i, &mut scratch))
         .collect()
 }
 
 /// One work unit: replay scenario `i` under PR and under the
-/// reconverging IGP, with the per-scenario derived seed.
+/// reconverging IGP (tables repaired from the stale trees through the
+/// worker's arena), with the per-scenario derived seed.
+#[allow(clippy::too_many_arguments)]
 fn run_one(
     graph: &Graph,
     agent: &Static<pr_core::PrAgent<'_>>,
@@ -90,11 +95,12 @@ fn run_one(
     config: &SimConfig,
     base_seed: u64,
     i: usize,
+    scratch: &mut SpScratch,
 ) -> TemporalRow {
     let scenario = family.scenario(i);
     let seed = family.seed_for(base_seed, i);
     let pr = run_scenario(graph, agent, &scenario, config, seed);
-    let igp_agent = igp_for(graph, &scenario, stale);
+    let igp_agent = igp_for_with(graph, &scenario, stale, scratch);
     let igp = run_scenario(graph, &igp_agent, &scenario, config, seed);
     TemporalRow { scenario: i, label: scenario.label, pr, igp }
 }

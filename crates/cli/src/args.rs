@@ -3,11 +3,16 @@
 
 use std::collections::BTreeMap;
 
+/// Boolean flags (options that take no value). Declared globally so
+/// `--stats` parses the same under every subcommand.
+const BOOLEAN_FLAGS: &[&str] = &["stats"];
+
 /// Parsed command line: positionals in order, options by name.
 #[derive(Debug, Clone, Default)]
 pub struct Args {
     positional: Vec<String>,
     options: BTreeMap<String, Vec<String>>,
+    flags: Vec<String>,
 }
 
 /// Errors from argument parsing or typed access.
@@ -50,6 +55,10 @@ impl Args {
         let mut iter = raw.into_iter();
         while let Some(tok) = iter.next() {
             if let Some(name) = tok.strip_prefix("--") {
+                if BOOLEAN_FLAGS.contains(&name) {
+                    out.flags.push(name.to_string());
+                    continue;
+                }
                 let value = iter.next().ok_or_else(|| ArgError::MissingValue(name.to_string()))?;
                 out.options.entry(name.to_string()).or_default().push(value);
             } else {
@@ -57,6 +66,11 @@ impl Args {
             }
         }
         Ok(out)
+    }
+
+    /// `true` if the boolean flag `--name` was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
     }
 
     /// The `i`-th positional argument, required.
@@ -128,5 +142,13 @@ mod tests {
     fn last_option_wins() {
         let a = args("--mode basic --mode dd").unwrap();
         assert_eq!(a.option("mode"), Some("dd"));
+    }
+
+    #[test]
+    fn boolean_flags_take_no_value() {
+        let a = args("geant --family single --stats --threads 2").unwrap();
+        assert!(a.flag("stats"));
+        assert_eq!(a.option("threads"), Some("2"), "--stats must not swallow --threads");
+        assert!(!args("geant").unwrap().flag("stats"));
     }
 }

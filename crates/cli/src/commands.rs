@@ -22,7 +22,7 @@ USAGE:
     pr stretch <topology> [--failures K] [--samples N] [--seed N] [--threads N]
     pr sweep   <topology> --family <single|multi|node|srlg|exhaustive|outage|flap>
                [--k N] [--samples N] [--radius KM] [--holddown-ms N]
-               [--seed N] [--threads N]
+               [--seed N] [--threads N] [--stats]
 
 FAMILIES (pr sweep):
     single      every single-link failure (streamed exhaustively)
@@ -375,7 +375,8 @@ pub fn sweep(args: &Args) -> CmdResult {
                 family.len(),
                 threads
             );
-            let s = pr_bench::stretch::run(&graph, &net, family.as_ref(), threads);
+            let (s, repair) =
+                pr_bench::stretch::run_with_stats(&graph, &net, family.as_ref(), threads);
             println!(
                 "affected connected pairs: {}, disconnected (excluded): {}, undelivered: {}",
                 s.evaluated_pairs, s.disconnected_pairs, s.undelivered
@@ -387,6 +388,16 @@ pub fn sweep(args: &Args) -> CmdResult {
                 mean(&s.fcp),
                 mean(&s.packet_recycling)
             );
+            if args.flag("stats") {
+                println!(
+                    "spt repair:    {} repairs, cone {:.1}% of nodes (hit rate {:.1}%), \
+                     {} full rebuilds",
+                    repair.repairs,
+                    100.0 * repair.cone_fraction(),
+                    100.0 * repair.hit_rate(),
+                    repair.full_rebuilds
+                );
+            }
         }
     }
     Ok(())
@@ -444,6 +455,12 @@ mod tests {
             sweep(&args(&format!("figure1 --family {family} --k 2 --threads 2"))).unwrap();
         }
         sweep(&args("figure1 --family multi --k 2 --samples 3")).unwrap();
+    }
+
+    #[test]
+    fn sweep_accepts_the_stats_flag() {
+        sweep(&args("figure1 --family single --stats --threads 2")).unwrap();
+        sweep(&args("figure1 --family exhaustive --k 2 --stats")).unwrap();
     }
 
     #[test]

@@ -12,9 +12,6 @@
 //! therefore broken canonically (fewest hops, then lowest parent node id,
 //! then lowest dart id) rather than by heap pop order.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use crate::{Dart, Graph, LinkSet, NodeId};
 
 /// A destination-rooted shortest-path tree over the live links.
@@ -32,9 +29,9 @@ use crate::{Dart, Graph, LinkSet, NodeId};
 pub struct SpTree {
     /// The destination this tree routes towards.
     pub dest: NodeId,
-    dist: Vec<Option<u64>>,
-    hops: Vec<Option<u32>>,
-    next: Vec<Option<Dart>>,
+    pub(crate) dist: Vec<Option<u64>>,
+    pub(crate) hops: Vec<Option<u32>>,
+    pub(crate) next: Vec<Option<Dart>>,
 }
 
 impl SpTree {
@@ -46,67 +43,15 @@ impl SpTree {
     /// resulting tree does not depend on heap internals. Because link
     /// weights are ≥ 1, every parent has strictly smaller distance, so
     /// the pass is well-founded.
+    ///
+    /// This is the convenience entry point for one-shot callers: it
+    /// pays one [`SpScratch`] worth of allocations per call. Hot loops
+    /// should hold a scratch and use [`SpTree::towards_with`] (or
+    /// [`SpTree::repair_from`] when a base tree is in hand).
+    ///
+    /// [`SpScratch`]: crate::SpScratch
     pub fn towards(graph: &Graph, dest: NodeId, failed: &LinkSet) -> SpTree {
-        let n = graph.node_count();
-        let mut dist: Vec<Option<u64>> = vec![None; n];
-        let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
-        dist[dest.index()] = Some(0);
-        heap.push(Reverse((0, dest.0)));
-
-        while let Some(Reverse((d, u))) = heap.pop() {
-            let u = NodeId(u);
-            if dist[u.index()] != Some(d) {
-                continue; // stale heap entry
-            }
-            for &dart in graph.darts_from(u) {
-                if failed.contains_dart(dart) {
-                    continue;
-                }
-                let v = graph.dart_head(dart);
-                let nd = d + u64::from(graph.weight(dart.link()));
-                if dist[v.index()].is_none_or(|cur| nd < cur) {
-                    dist[v.index()] = Some(nd);
-                    heap.push(Reverse((nd, v.0)));
-                }
-            }
-        }
-
-        // Canonical parent selection: process nodes in increasing
-        // (dist, id); every candidate parent is strictly closer to dest,
-        // hence already finalised when we reach its children.
-        let mut order: Vec<NodeId> = graph.nodes().filter(|u| dist[u.index()].is_some()).collect();
-        order.sort_by_key(|u| (dist[u.index()].unwrap(), u.0));
-
-        let mut hops: Vec<Option<u32>> = vec![None; n];
-        let mut next: Vec<Option<Dart>> = vec![None; n];
-        for &u in &order {
-            if u == dest {
-                hops[u.index()] = Some(0);
-                continue;
-            }
-            let du = dist[u.index()].unwrap();
-            let mut best: Option<(u32, u32, u32, Dart)> = None;
-            for &dart in graph.darts_from(u) {
-                if failed.contains_dart(dart) {
-                    continue;
-                }
-                let v = graph.dart_head(dart);
-                let Some(dv) = dist[v.index()] else { continue };
-                if dv + u64::from(graph.weight(dart.link())) != du {
-                    continue; // not on a shortest path
-                }
-                let hv = hops[v.index()].expect("parent candidate finalised before child");
-                let key = (hv + 1, v.0, dart.0, dart);
-                if best.is_none_or(|b| (key.0, key.1, key.2) < (b.0, b.1, b.2)) {
-                    best = Some(key);
-                }
-            }
-            let (h, _, _, dart) = best.expect("reachable node must have a shortest-path parent");
-            hops[u.index()] = Some(h);
-            next[u.index()] = Some(dart);
-        }
-
-        SpTree { dest, dist, hops, next }
+        SpTree::towards_with(graph, dest, failed, &mut crate::SpScratch::new())
     }
 
     /// Convenience: tree over a fully-live graph.
@@ -200,9 +145,36 @@ pub struct AllPairs {
 }
 
 impl AllPairs {
-    /// Computes one tree per destination.
+    /// Computes one tree per destination (sharing one Dijkstra arena
+    /// across the destinations).
     pub fn compute(graph: &Graph, failed: &LinkSet) -> AllPairs {
-        AllPairs { trees: graph.nodes().map(|d| SpTree::towards(graph, d, failed)).collect() }
+        let mut scratch = crate::SpScratch::new();
+        AllPairs {
+            trees: graph
+                .nodes()
+                .map(|d| SpTree::towards_with(graph, d, failed, &mut scratch))
+                .collect(),
+        }
+    }
+
+    /// Repairs every per-destination tree of `self` (computed over a
+    /// subset of `failed` — typically the failure-free base map) into
+    /// the all-pairs view under `failed`, via [`SpTree::repair_from`].
+    /// Bit-identical to [`AllPairs::compute`] at a fraction of the
+    /// work when failures perturb only small cones.
+    pub fn repair_from(
+        &self,
+        graph: &Graph,
+        failed: &LinkSet,
+        scratch: &mut crate::SpScratch,
+    ) -> AllPairs {
+        AllPairs {
+            trees: self
+                .trees
+                .iter()
+                .map(|t| SpTree::repair_from(t, graph, t.dest, failed, scratch))
+                .collect(),
+        }
     }
 
     /// Convenience: all-pairs over a fully-live graph.

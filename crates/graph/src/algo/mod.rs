@@ -4,6 +4,7 @@ mod bfs;
 mod connectivity;
 mod dijkstra;
 mod paths;
+mod repair;
 
 pub use bfs::{hop_diameter, hop_distances, reachable_from};
 pub use connectivity::{
@@ -12,3 +13,4 @@ pub use connectivity::{
 };
 pub use dijkstra::{AllPairs, SpTree};
 pub use paths::{stretch, Path};
+pub use repair::{RepairStats, SpScratch};

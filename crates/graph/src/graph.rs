@@ -74,19 +74,41 @@ struct LinkRecord {
 /// assert_eq!(g.dart_head(l.forward()), b);
 /// assert_eq!(g.degree(a), 1);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Graph {
     names: Vec<String>,
     coords: Vec<Option<Coordinates>>,
     links: Vec<LinkRecord>,
-    /// Per node: darts whose tail is that node, in insertion order.
-    out_darts: Vec<Vec<Dart>>,
+    /// All out-darts, grouped by tail node in a flat CSR layout:
+    /// node `u`'s interface list is
+    /// `csr_darts[csr_offsets[u] .. csr_offsets[u + 1]]`, in link
+    /// insertion order. One contiguous array (instead of the former
+    /// per-node `Vec<Vec<Dart>>`) keeps Dijkstra/BFS inner loops
+    /// cache-linear: a whole sweep of `darts_from` walks one allocation
+    /// front to back.
+    csr_darts: Vec<Dart>,
+    /// `node_count + 1` offsets into `csr_darts` (last entry is the
+    /// total dart count).
+    csr_offsets: Vec<u32>,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Graph {
     /// Creates an empty graph.
     pub fn new() -> Self {
-        Self::default()
+        Graph {
+            names: Vec::new(),
+            coords: Vec::new(),
+            links: Vec::new(),
+            csr_darts: Vec::new(),
+            // CSR invariant: `node_count + 1` offsets, starting at 0.
+            csr_offsets: vec![0],
+        }
     }
 
     /// Creates a graph with `n` anonymous nodes named `"0"`, `"1"`, ….
@@ -106,7 +128,8 @@ impl Graph {
         let id = NodeId(u32::try_from(self.names.len()).expect("graph exceeds u32 id space"));
         self.names.push(name.into());
         self.coords.push(None);
-        self.out_darts.push(Vec::new());
+        // New node: empty interface segment at the end of the CSR.
+        self.csr_offsets.push(*self.csr_offsets.last().expect("CSR has an initial offset"));
         id
     }
 
@@ -128,9 +151,25 @@ impl Graph {
         }
         let id = LinkId(u32::try_from(self.links.len()).map_err(|_| GraphError::TooLarge)?);
         self.links.push(LinkRecord { a, b, weight });
-        self.out_darts[a.index()].push(id.forward());
-        self.out_darts[b.index()].push(id.reverse());
+        self.csr_insert(a, id.forward());
+        self.csr_insert(b, id.reverse());
         Ok(id)
+    }
+
+    /// Appends `dart` to `node`'s CSR interface segment, shifting later
+    /// segments right. O(total darts) per insertion, i.e. O(m²) for a
+    /// full build — fine at this workspace's topology sizes (tens to
+    /// hundreds of links), and construction is a one-off while the
+    /// read side (`darts_from`) is the hot path. If graphs ever grow
+    /// to many thousands of links, switch construction to buffering
+    /// `(tail, dart)` pairs and building the CSR in one counting-sort
+    /// pass on first read.
+    fn csr_insert(&mut self, node: NodeId, dart: Dart) {
+        let at = self.csr_offsets[node.index() + 1] as usize;
+        self.csr_darts.insert(at, dart);
+        for off in &mut self.csr_offsets[node.index() + 1..] {
+            *off += 1;
+        }
     }
 
     /// Attaches geographic coordinates to a node.
@@ -230,36 +269,39 @@ impl Graph {
     ///
     /// This is the node's *interface list*: the dart `X -> Y` is the
     /// outgoing interface from `X` towards `Y`, and its twin is the
-    /// paper's `I_XY` (the interface at `Y` receiving from `X`).
+    /// paper's `I_XY` (the interface at `Y` receiving from `X`). The
+    /// slice is a window into one flat CSR array shared by all nodes.
     #[inline]
     pub fn darts_from(&self, node: NodeId) -> &[Dart] {
-        &self.out_darts[node.index()]
+        let lo = self.csr_offsets[node.index()] as usize;
+        let hi = self.csr_offsets[node.index() + 1] as usize;
+        &self.csr_darts[lo..hi]
     }
 
     /// Degree of a node (number of incident link endpoints).
     #[inline]
     pub fn degree(&self, node: NodeId) -> usize {
-        self.out_darts[node.index()].len()
+        (self.csr_offsets[node.index() + 1] - self.csr_offsets[node.index()]) as usize
     }
 
     /// Neighbours of a node, in interface order (with multiplicity for
     /// parallel links).
     pub fn neighbors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.out_darts[node.index()].iter().map(|&d| self.dart_head(d))
+        self.darts_from(node).iter().map(|&d| self.dart_head(d))
     }
 
     /// Finds a link joining `a` and `b` (either orientation), if any.
     ///
     /// With parallel links, returns the lowest-id one.
     pub fn find_link(&self, a: NodeId, b: NodeId) -> Option<LinkId> {
-        self.out_darts[a.index()].iter().find(|&&d| self.dart_head(d) == b).map(|d| d.link())
+        self.darts_from(a).iter().find(|&&d| self.dart_head(d) == b).map(|d| d.link())
     }
 
     /// Finds the dart oriented `a -> b`, if a link joins them.
     ///
     /// With parallel links, returns the one on the lowest-id link.
     pub fn find_dart(&self, a: NodeId, b: NodeId) -> Option<Dart> {
-        self.out_darts[a.index()].iter().copied().find(|&d| self.dart_head(d) == b)
+        self.darts_from(a).iter().copied().find(|&d| self.dart_head(d) == b)
     }
 
     /// Sum of all link weights.
@@ -365,6 +407,38 @@ mod tests {
         assert_eq!(g.degree(a), 2);
         assert_eq!(g.find_link(a, b), Some(l1));
         assert_eq!(g.weight(l2), 5);
+    }
+
+    #[test]
+    fn csr_ordering_matches_per_node_insertion_order() {
+        // Regression for the flat-CSR adjacency: `darts_from` must
+        // enumerate exactly what the former `Vec<Vec<Dart>>` held —
+        // each node's out-darts in link insertion order. Canonical
+        // tie-breaking (and hence every routing table in the
+        // workspace) depends on this order.
+        let mut g = Graph::new();
+        let nodes: Vec<NodeId> = (0..7).map(|i| g.add_node(format!("n{i}"))).collect();
+        // Deterministic but scrambled construction, incl. a parallel
+        // link and interleaved add_node/add_link calls.
+        let mut reference: Vec<Vec<Dart>> = vec![Vec::new(); nodes.len()];
+        let pairs =
+            [(0usize, 3usize), (2, 1), (0, 1), (4, 0), (2, 3), (2, 3), (5, 2), (1, 4), (3, 5)];
+        for &(a, b) in &pairs {
+            let l = g.add_link(nodes[a], nodes[b], 1).unwrap();
+            reference[a].push(l.forward());
+            reference[b].push(l.reverse());
+        }
+        let late = g.add_node("late");
+        let l = g.add_link(late, nodes[6], 2).unwrap();
+        reference.push(vec![l.forward()]);
+        reference[6].push(l.reverse());
+        for (i, expected) in reference.iter().enumerate() {
+            assert_eq!(g.darts_from(NodeId(i as u32)), expected.as_slice(), "node {i}");
+            assert_eq!(g.degree(NodeId(i as u32)), expected.len());
+        }
+        // The flat array is the concatenation of the per-node lists.
+        let flat: Vec<Dart> = g.nodes().flat_map(|u| g.darts_from(u).to_vec()).collect();
+        assert_eq!(flat.len(), g.dart_count());
     }
 
     #[test]

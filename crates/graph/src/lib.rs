@@ -68,7 +68,7 @@ mod ids;
 mod linkset;
 pub mod parser;
 
-pub use algo::{stretch, AllPairs, Path, SpTree};
+pub use algo::{stretch, AllPairs, Path, RepairStats, SpScratch, SpTree};
 pub use error::{GraphError, ParseError};
 pub use graph::{Coordinates, Graph};
 pub use ids::{Dart, LinkId, NodeId};

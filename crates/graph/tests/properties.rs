@@ -205,6 +205,39 @@ proptest! {
         prop_assert_eq!(via_iter, via_ref);
     }
 
+    /// Incremental repair from the failure-free base tree is
+    /// bit-identical to the from-scratch recompute — distances, hop
+    /// labels and canonical parent darts — for arbitrary failure sets
+    /// (including disconnecting ones), every destination.
+    #[test]
+    fn repair_from_equals_towards((g, failed) in arb_graph_and_failures()) {
+        let mut scratch = pr_graph::SpScratch::new();
+        let none = LinkSet::empty(g.link_count());
+        for dest in g.nodes() {
+            let base = SpTree::towards(&g, dest, &none);
+            let repaired = SpTree::repair_from(&base, &g, dest, &failed, &mut scratch);
+            let fresh = SpTree::towards(&g, dest, &failed);
+            prop_assert_eq!(repaired, fresh, "dest {}", dest);
+        }
+        // Arena reuse must not bleed state between destinations: the
+        // stats account one repair per destination.
+        prop_assert_eq!(scratch.stats().repairs, g.node_count() as u64);
+    }
+
+    /// The arena-based full rebuild is bit-identical to the one-shot
+    /// entry point (which now wraps it with a fresh scratch).
+    #[test]
+    fn towards_with_matches_towards_under_failures((g, failed) in arb_graph_and_failures()) {
+        let mut scratch = pr_graph::SpScratch::new();
+        for dest in g.nodes() {
+            prop_assert_eq!(
+                SpTree::towards_with(&g, dest, &failed, &mut scratch),
+                SpTree::towards(&g, dest, &failed),
+                "dest {}", dest
+            );
+        }
+    }
+
     /// BFS hop distances agree with Dijkstra on unit-weight graphs.
     #[test]
     fn bfs_agrees_with_unit_dijkstra(seed in 0u64..u64::MAX, n in 3usize..20, chords in 0usize..10) {

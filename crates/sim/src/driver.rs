@@ -64,12 +64,29 @@ pub fn igp_for(
     scenario: &TemporalScenario,
     stale: &std::sync::Arc<pr_graph::AllPairs>,
 ) -> ReconvergingIgp {
+    igp_for_with(graph, scenario, stale, &mut pr_graph::SpScratch::new())
+}
+
+/// [`igp_for`] with a caller-held Dijkstra arena: the post-failure
+/// tables are incrementally repaired from `stale` (bit-identical to a
+/// full recompute), so a temporal sweep worker builds one IGP per
+/// scenario at affected-cone cost with zero arena allocations.
+///
+/// `stale` must be the failure-free base map (as sweeps hoist it) —
+/// the repair precondition of [`pr_graph::SpTree::repair_from`].
+pub fn igp_for_with(
+    graph: &Graph,
+    scenario: &TemporalScenario,
+    stale: &std::sync::Arc<pr_graph::AllPairs>,
+    scratch: &mut pr_graph::SpScratch,
+) -> ReconvergingIgp {
     let failed = LinkSet::from_links(graph.link_count(), scenario.igp_failed.iter().copied());
-    ReconvergingIgp::with_stale(
+    ReconvergingIgp::with_stale_repaired(
         std::sync::Arc::clone(stale),
         graph,
         &failed,
         SimTime(scenario.igp_converged_at_ns),
+        scratch,
     )
 }
 

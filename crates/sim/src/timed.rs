@@ -18,7 +18,7 @@
 use std::sync::Arc;
 
 use pr_core::{DropReason, ForwardDecision, ForwardingAgent};
-use pr_graph::{AllPairs, Dart, Graph, LinkSet, NodeId};
+use pr_graph::{AllPairs, Dart, Graph, LinkSet, NodeId, SpScratch};
 
 use crate::SimTime;
 
@@ -111,13 +111,43 @@ impl ReconvergingIgp {
     /// many scenarios computes them once and shares them here at one
     /// `Arc` bump per scenario, instead of re-running (or copying)
     /// all-pairs Dijkstra each time.
+    ///
+    /// The converged tables are recomputed from scratch, so `stale`
+    /// may be *any* routing state (e.g. tables that had already
+    /// converged around an earlier, different failure). When `stale`
+    /// is the failure-free map — the common sweep case — prefer
+    /// [`ReconvergingIgp::with_stale_repaired`], which derives the
+    /// converged tables by incremental repair instead.
     pub fn with_stale(
         stale: Arc<AllPairs>,
         graph: &Graph,
         failed: &LinkSet,
         converged_at: SimTime,
     ) -> ReconvergingIgp {
-        ReconvergingIgp { stale, converged: AllPairs::compute(graph, failed), converged_at }
+        ReconvergingIgp { converged: AllPairs::compute(graph, failed), stale, converged_at }
+    }
+
+    /// [`ReconvergingIgp::with_stale`] with a caller-held Dijkstra
+    /// arena: the converged (post-failure) tables are produced by
+    /// **incremental repair** of the stale trees — bit-identical to
+    /// the full `AllPairs::compute`, but touching only the cones the
+    /// failure actually perturbs. Sweep workers hold one scratch and
+    /// build thousands of scenarios' IGPs through it.
+    ///
+    /// **Precondition** (inherited from [`pr_graph::SpTree::repair_from`]):
+    /// `stale` must have been computed over a *subset* of `failed` —
+    /// in practice the failure-free base map. For stale tables that
+    /// already routed around other failures, use
+    /// [`ReconvergingIgp::with_stale`], which recomputes from scratch.
+    pub fn with_stale_repaired(
+        stale: Arc<AllPairs>,
+        graph: &Graph,
+        failed: &LinkSet,
+        converged_at: SimTime,
+        scratch: &mut SpScratch,
+    ) -> ReconvergingIgp {
+        let converged = stale.repair_from(graph, failed, scratch);
+        ReconvergingIgp { stale, converged, converged_at }
     }
 
     /// The instant the survivor tables take effect.
