@@ -1,0 +1,73 @@
+//! Throughput micro-benchmark for the batched flow-replay dataplane
+//! (PR 5): the per-scenario replay of a whole gravity traffic matrix,
+//! batched (FIB fast path + reused scratch + incremental SPT repair)
+//! versus naive (one `walk_packet` per flow, fresh scratch, per-
+//! destination from-scratch survivor trees).
+//!
+//! Both variants produce the identical `ScenarioTraffic` (asserted by
+//! the pr-traffic tests and the determinism suite); only the time per
+//! replayed flow differs. BENCH_pr5.json records the medians and the
+//! derived flows/sec; the acceptance bar is a ≥2x batched-vs-naive
+//! delta.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pr_core::{generous_ttl, DiscriminatorKind, Fib, PrMode, PrNetwork};
+use pr_graph::AllPairs;
+use pr_scenarios::{ScenarioFamily, SingleLinkFailures};
+use pr_topologies::{Isp, Weighting};
+use pr_traffic::{replay_scenario, replay_scenario_naive, FlowSet, GravityTraffic, ReplayScratch};
+
+fn bench_traffic_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("traffic_replay");
+    for isp in [Isp::Abilene, Isp::Geant] {
+        let graph = pr_topologies::load(isp, Weighting::Distance);
+        let rot = pr_embedding::heuristics::thorough(&graph, 2010, 4, 20_000);
+        let emb = pr_embedding::CellularEmbedding::new(&graph, rot).expect("connected");
+        let net =
+            PrNetwork::compile(&graph, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
+        let agent = net.agent(&graph);
+        let base = AllPairs::compute_all_live(&graph);
+        let fib = Fib::from_base(&graph, &base);
+        let flows = FlowSet::all_pairs(&GravityTraffic::new(&graph));
+        let singles = SingleLinkFailures::new(&graph);
+        let ttl = generous_ttl(&graph);
+        let label = format!("{isp}/{}flows-x{}scenarios", flows.len(), singles.len());
+
+        // One iteration = the full single-failure sweep of the matrix
+        // (the per-scenario work unit of pr_bench::traffic::run, run
+        // serially so the two variants compare dataplanes, not thread
+        // counts).
+        group.bench_with_input(BenchmarkId::new("batched", &label), &graph, |b, g| {
+            let mut scratch = ReplayScratch::new();
+            b.iter(|| {
+                for i in 0..singles.len() {
+                    let failed = singles.scenario(i);
+                    black_box(replay_scenario(
+                        g,
+                        &agent,
+                        &fib,
+                        &base,
+                        &flows,
+                        &failed,
+                        ttl,
+                        &mut scratch,
+                    ));
+                }
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("naive", &label), &graph, |b, g| {
+            b.iter(|| {
+                for i in 0..singles.len() {
+                    let failed = singles.scenario(i);
+                    black_box(replay_scenario_naive(g, &agent, &base, &flows, &failed, ttl));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_traffic_replay);
+criterion_main!(benches);

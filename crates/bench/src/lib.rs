@@ -39,6 +39,7 @@ pub mod overheads;
 pub mod scenario;
 pub mod stretch;
 pub mod temporal;
+pub mod traffic;
 
 use std::path::{Path, PathBuf};
 

@@ -165,3 +165,102 @@ fn abilene_detection_delay_sweep_parallel_equals_serial() {
         DetectionDelaySweep::new(&g, link, vec![0, 100_000, 1_000_000, 10_000_000], quick_params());
     temporal_is_deterministic_on(&g, &pr, &fam);
 }
+
+// ---- traffic replay ----------------------------------------------------
+
+use pr_traffic::{FlowSet, GravityTraffic, HotspotTraffic, UniformTraffic};
+
+fn traffic_is_deterministic_on(
+    graph: &Graph,
+    pr: &PrNetwork,
+    family: &dyn ScenarioFamily,
+    flows: &FlowSet,
+) {
+    // The serial reference replays every flow one packet at a time
+    // (fresh scratch, no FIB, no SPT repair); the engine run must
+    // match it bit for bit — f64 demand sums included — at any thread
+    // count.
+    let reference = pr_bench::traffic::run_serial(graph, pr, family, flows);
+    assert_eq!(reference.len(), family.len());
+    for threads in THREAD_COUNTS {
+        let rows = pr_bench::traffic::run(graph, pr, family, flows, threads);
+        assert_eq!(
+            rows,
+            reference,
+            "traffic rows diverged from serial at {threads} threads ({}, {})",
+            family.label(),
+            flows.label()
+        );
+        assert_eq!(
+            pr_bench::traffic::summarize(&rows),
+            pr_bench::traffic::summarize(&reference),
+            "summaries diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn abilene_traffic_replay_parallel_equals_serial() {
+    let (g, pr) = abilene_net();
+    let singles = SingleLinkFailures::new(&g);
+    traffic_is_deterministic_on(&g, &pr, &singles, &FlowSet::all_pairs(&GravityTraffic::new(&g)));
+    for seed in SEEDS {
+        let multi = SampledMultiFailures::new(&g, 3, 6, seed);
+        let flows = FlowSet::sampled(&HotspotTraffic::with_defaults(&g, seed), 120, seed);
+        traffic_is_deterministic_on(&g, &pr, &multi, &flows);
+    }
+}
+
+#[test]
+fn geant_gravity_traffic_replay_parallel_equals_serial() {
+    // The acceptance scenario: `pr traffic geant --model gravity
+    // --family single --threads 4` must report weighted coverage, %
+    // demand lost and max-link-utilisation bit-identically at 1/2/4
+    // threads.
+    let g = pr_topologies::load(Isp::Geant, Weighting::Distance);
+    let pr = PrNetwork::compile(
+        &g,
+        planar_embedding(&g, 2010),
+        PrMode::DistanceDiscriminator,
+        DiscriminatorKind::Hops,
+    );
+    let flows = FlowSet::all_pairs(&GravityTraffic::new(&g));
+    traffic_is_deterministic_on(&g, &pr, &SingleLinkFailures::new(&g), &flows);
+}
+
+#[test]
+fn teleglobe_traffic_replay_parallel_equals_serial() {
+    // Identity embedding: positive genus, so some walks end in drops —
+    // lost demand must merge identically too.
+    let g = pr_topologies::load(Isp::Teleglobe, Weighting::Distance);
+    let pr = PrNetwork::compile(
+        &g,
+        identity_embedding(&g),
+        PrMode::DistanceDiscriminator,
+        DiscriminatorKind::Hops,
+    );
+    let flows = FlowSet::all_pairs(&GravityTraffic::new(&g));
+    traffic_is_deterministic_on(&g, &pr, &SingleLinkFailures::new(&g), &flows);
+}
+
+/// The acceptance identity: weighted coverage under the uniform *unit*
+/// matrix is **bit-identical** to the unweighted coverage experiment's
+/// PR-DD cell, scenario family and conditioning held equal.
+#[test]
+fn uniform_unit_traffic_matches_unweighted_coverage_bitwise() {
+    let g = pr_topologies::load(Isp::Abilene, Weighting::Distance);
+    let emb = planar_embedding(&g, 2010);
+    let pr =
+        PrNetwork::compile(&g, emb.clone(), PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
+    // Coverage row k=1 sweeps exactly the single-link family.
+    let coverage = pr_bench::coverage::run(&g, &emb, 1, 0, 7, 2);
+    let dd = &coverage[0].pr_dd;
+
+    let flows = FlowSet::all_pairs(&UniformTraffic::new(&g));
+    let singles = SingleLinkFailures::new(&g);
+    let s = pr_bench::traffic::summarize(&pr_bench::traffic::run(&g, &pr, &singles, &flows, 2));
+
+    assert_eq!(s.tally.evaluated, dd.evaluated as f64, "same conditioning, unit demand");
+    assert_eq!(s.tally.evaluated_delivered, dd.delivered as f64);
+    assert_eq!(s.weighted_coverage(), dd.ratio(), "bit-identical coverage ratio");
+}

@@ -31,6 +31,9 @@ pub enum ArgError {
         /// What was expected.
         expected: &'static str,
     },
+    /// An option the subcommand does not recognise (typos and
+    /// misplaced flags must not be silently ignored).
+    UnknownOption(String),
 }
 
 impl std::fmt::Display for ArgError {
@@ -40,6 +43,9 @@ impl std::fmt::Display for ArgError {
             ArgError::MissingPositional(name) => write!(f, "missing required argument <{name}>"),
             ArgError::BadValue { name, value, expected } => {
                 write!(f, "bad value {value:?} for {name}: expected {expected}")
+            }
+            ArgError::UnknownOption(opt) => {
+                write!(f, "unknown option --{opt} for this subcommand")
             }
         }
     }
@@ -71,6 +77,21 @@ impl Args {
     /// `true` if the boolean flag `--name` was given.
     pub fn flag(&self, name: &str) -> bool {
         self.flags.iter().any(|f| f == name)
+    }
+
+    /// Errors on any option or flag outside `known` — a typo'd
+    /// (`--flow` for `--flows`) or misplaced (`--model` under
+    /// `pr sweep`) option silently ignored is how benchmark numbers go
+    /// wrong.
+    pub fn reject_unknown(&self, known: &[&str]) -> Result<(), ArgError> {
+        for name in
+            self.options.keys().map(String::as_str).chain(self.flags.iter().map(String::as_str))
+        {
+            if !known.contains(&name) {
+                return Err(ArgError::UnknownOption(name.to_string()));
+            }
+        }
+        Ok(())
     }
 
     /// The `i`-th positional argument, required.
@@ -142,6 +163,21 @@ mod tests {
     fn last_option_wins() {
         let a = args("--mode basic --mode dd").unwrap();
         assert_eq!(a.option("mode"), Some("dd"));
+    }
+
+    #[test]
+    fn unknown_options_are_rejected_not_ignored() {
+        let a = args("geant --family single --threads 2 --stats").unwrap();
+        a.reject_unknown(&["family", "threads", "stats"]).unwrap();
+        assert_eq!(
+            a.reject_unknown(&["family", "threads"]),
+            Err(ArgError::UnknownOption("stats".into())),
+            "flags are checked too"
+        );
+        let typo = args("geant --flow 500").unwrap();
+        let err = typo.reject_unknown(&["flows"]).unwrap_err();
+        assert_eq!(err, ArgError::UnknownOption("flow".into()));
+        assert!(err.to_string().contains("unknown option --flow"));
     }
 
     #[test]

@@ -7,6 +7,7 @@ use pr_scenarios::{
     ExhaustiveKFailures, FlapSweep, NodeFailures, OutageParams, OutageSweep, SampledMultiFailures,
     ScenarioFamily, SingleLinkFailures, SrlgFailures, TemporalFamily,
 };
+use pr_traffic::{FlowSet, GravityTraffic, HotspotTraffic, TrafficModel, UniformTraffic};
 
 use crate::args::Args;
 
@@ -22,16 +23,28 @@ USAGE:
     pr stretch <topology> [--failures K] [--samples N] [--seed N] [--threads N]
     pr sweep   <topology> --family <single|multi|node|srlg|exhaustive|outage|flap>
                [--k N] [--samples N] [--radius KM] [--holddown-ms N]
-               [--seed N] [--threads N] [--stats]
+               [--seed N] [--threads N] [--stats] [--format csv|json]
+    pr traffic <topology> [--model gravity|uniform|hotspot] [--flows N]
+               [--family <single|multi|node|srlg|exhaustive>] [--k N] [--samples N]
+               [--radius KM] [--hotspots N] [--boost X]
+               [--seed N] [--threads N] [--format csv|json]
 
-FAMILIES (pr sweep):
+FAMILIES (pr sweep / pr traffic):
     single      every single-link failure (streamed exhaustively)
     multi       sampled k-link failure sets (--k, --samples; deduplicated)
     node        every node failure (all incident links)
     srlg        geographically-correlated failures around each PoP (--radius km)
     exhaustive  every k-subset of links, streamed by unranking (--k)
-    outage      timed outage of each link through the packet simulator
-    flap        timed flap trace on each link (--holddown-ms; simulator)
+    outage      timed outage of each link through the packet simulator (sweep only)
+    flap        timed flap trace on each link (--holddown-ms; sweep only)
+
+TRAFFIC MODELS (pr traffic):
+    gravity     PoP-mass x PoP-mass / distance demand from the shipped coordinates
+    uniform     unit demand on every ordered pair (weighted == unweighted)
+    hotspot     seeded hot-PoP skew (--hotspots, --boost)
+
+Family-specific flags are rejected under any other family.
+--format csv|json writes machine-readable rows under results/.
 
 TOPOLOGY:
     abilene | teleglobe | geant | figure1 | path/to/file.topo";
@@ -95,6 +108,129 @@ fn node_by_name(graph: &Graph, name: &str) -> Result<NodeId, String> {
     })
 }
 
+/// The family-specific options and the families each applies to.
+/// Anything else given alongside a family it does not belong to is a
+/// hard error — a silently ignored `--radius` is how benchmark numbers
+/// go wrong.
+const FAMILY_OPTIONS: &[(&str, &[&str])] = &[
+    ("k", &["multi", "exhaustive"]),
+    ("samples", &["multi"]),
+    ("radius", &["srlg"]),
+    ("holddown-ms", &["flap"]),
+];
+
+/// Rejects family-specific options used with the wrong `--family`.
+fn check_family_options(args: &Args, family: &str) -> Result<(), String> {
+    for (opt, families) in FAMILY_OPTIONS {
+        if args.option(opt).is_some() && !families.contains(&family) {
+            return Err(format!(
+                "option --{opt} does not apply to --family {family} (it belongs to --family {})",
+                families.join("|")
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Machine-readable output format selected by `--format`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OutputFormat {
+    /// Comma-separated rows.
+    Csv,
+    /// Pretty-printed JSON.
+    Json,
+}
+
+/// Parses `--format csv|json` (absent = human-readable stdout only).
+fn parse_format(args: &Args) -> Result<Option<OutputFormat>, String> {
+    match args.option("format") {
+        None => Ok(None),
+        Some("csv") => Ok(Some(OutputFormat::Csv)),
+        Some("json") => Ok(Some(OutputFormat::Json)),
+        Some(other) => Err(format!("--format wants csv|json, got {other:?}")),
+    }
+}
+
+/// File-name slug for a topology spec (paths lose their separators).
+fn topology_slug(spec: &str) -> String {
+    spec.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '-' }).collect()
+}
+
+/// Appends each of `opts` that was explicitly given to a results-file
+/// stem (`_k3_samples50`), so differently-parameterised runs of the
+/// same family land in different files instead of silently clobbering
+/// each other.
+fn stem_params(args: &Args, opts: &[&str]) -> String {
+    let mut out = String::new();
+    for opt in opts {
+        if let Some(value) = args.option(opt) {
+            out.push('_');
+            out.extend(opt.chars().filter(|c| c.is_ascii_alphanumeric()));
+            out.push_str(&topology_slug(value));
+        }
+    }
+    out
+}
+
+/// Writes a `--format` artefact under `results/` and echoes its path.
+fn emit(
+    format: OutputFormat,
+    stem: &str,
+    csv: impl FnOnce() -> String,
+    json: impl FnOnce() -> String,
+) {
+    match format {
+        OutputFormat::Csv => pr_bench::write_result(&format!("{stem}.csv"), &csv()),
+        OutputFormat::Json => pr_bench::write_result(&format!("{stem}.json"), &json()),
+    };
+}
+
+/// Builds a topological scenario family by name (shared by `pr sweep`
+/// and `pr traffic`). Family-specific flags must already have been
+/// validated via [`check_family_options`].
+fn topological_family<'a>(
+    graph: &'a Graph,
+    name: &str,
+    seed: u64,
+    args: &Args,
+) -> Result<Box<dyn ScenarioFamily + 'a>, Box<dyn std::error::Error>> {
+    Ok(match name {
+        "single" => Box::new(SingleLinkFailures::new(graph)),
+        "node" => Box::new(NodeFailures::new(graph)),
+        "multi" => {
+            let k: usize = args.option_or("k", 2)?;
+            let samples: usize = args.option_or("samples", 100)?;
+            let fam = SampledMultiFailures::new(graph, k, samples, seed);
+            if fam.len() < samples {
+                println!("note: only {} distinct scenarios exist (asked for {samples})", fam.len());
+            }
+            if !fam.all_draws_complete() {
+                println!("note: the graph cannot lose {k} links; draws fell short");
+            }
+            Box::new(fam)
+        }
+        "srlg" => {
+            if !graph.fully_located() {
+                return Err("srlg needs PoP coordinates on every node \
+                            (use a shipped ISP topology)"
+                    .into());
+            }
+            let radius: f64 = args.option_or("radius", 500.0)?;
+            Box::new(SrlgFailures::new(graph, radius))
+        }
+        "exhaustive" => {
+            let k: usize = args.option_or("k", 2)?;
+            Box::new(ExhaustiveKFailures::new(graph, k))
+        }
+        other => {
+            return Err(format!(
+                "--family wants single|multi|node|srlg|exhaustive|outage|flap, got {other:?}"
+            )
+            .into())
+        }
+    })
+}
+
 /// Parses repeatable `--fail A-B` options into a LinkSet.
 fn parse_failures(graph: &Graph, args: &Args) -> Result<LinkSet, String> {
     let mut failed = LinkSet::empty(graph.link_count());
@@ -108,8 +244,13 @@ fn parse_failures(graph: &Graph, args: &Args) -> Result<LinkSet, String> {
     Ok(failed)
 }
 
+/// The embedding-search options every command that resolves an
+/// embedding accepts (see [`resolve_embedding`]).
+const EMBED_OPTIONS: [&str; 3] = ["seed", "restarts", "iterations"];
+
 /// `pr info <topology>`.
 pub fn info(args: &Args) -> CmdResult {
+    args.reject_unknown(&[])?;
     let (graph, _) = load_topology(args.positional(0, "topology")?)?;
     let none = LinkSet::empty(graph.link_count());
     println!("nodes:              {}", graph.node_count());
@@ -133,6 +274,7 @@ pub fn info(args: &Args) -> CmdResult {
 
 /// `pr embed <topology>`.
 pub fn embed(args: &Args) -> CmdResult {
+    args.reject_unknown(&EMBED_OPTIONS)?;
     let (graph, canonical) = load_topology(args.positional(0, "topology")?)?;
     let emb = resolve_embedding(&graph, canonical, args)?;
     println!("genus:     {}", emb.genus());
@@ -159,6 +301,7 @@ pub fn embed(args: &Args) -> CmdResult {
 
 /// `pr tables <topology> <node>`.
 pub fn tables(args: &Args) -> CmdResult {
+    args.reject_unknown(&EMBED_OPTIONS)?;
     let (graph, canonical) = load_topology(args.positional(0, "topology")?)?;
     let node = node_by_name(&graph, args.positional(1, "node")?)?;
     let emb = resolve_embedding(&graph, canonical, args)?;
@@ -188,6 +331,7 @@ pub fn tables(args: &Args) -> CmdResult {
 
 /// `pr walk <topology> <src> <dst> [--fail A-B]... [--mode basic|dd]`.
 pub fn walk(args: &Args) -> CmdResult {
+    args.reject_unknown(&["fail", "mode", "seed", "restarts", "iterations"])?;
     let (graph, canonical) = load_topology(args.positional(0, "topology")?)?;
     let src = node_by_name(&graph, args.positional(1, "src")?)?;
     let dst = node_by_name(&graph, args.positional(2, "dst")?)?;
@@ -223,6 +367,7 @@ pub fn walk(args: &Args) -> CmdResult {
 /// over `--threads` workers (default: all cores), with output
 /// bit-identical to the single-threaded run.
 pub fn stretch(args: &Args) -> CmdResult {
+    args.reject_unknown(&["failures", "samples", "seed", "threads", "restarts", "iterations"])?;
     let (graph, canonical) = load_topology(args.positional(0, "topology")?)?;
     let failures: usize = args.option_or("failures", 1)?;
     let samples: usize = args.option_or("samples", 100)?;
@@ -278,14 +423,35 @@ pub fn stretch(args: &Args) -> CmdResult {
 /// temporal families replay each timed scenario through the
 /// discrete-event simulator under PR and a reconverging IGP.
 pub fn sweep(args: &Args) -> CmdResult {
-    let (graph, canonical) = load_topology(args.positional(0, "topology")?)?;
+    args.reject_unknown(&[
+        "family",
+        "k",
+        "samples",
+        "radius",
+        "holddown-ms",
+        "seed",
+        "threads",
+        "format",
+        "restarts",
+        "iterations",
+        "stats",
+    ])?;
+    let topo_spec = args.positional(0, "topology")?.to_string();
+    let (graph, canonical) = load_topology(&topo_spec)?;
     let family_name = args.option("family").unwrap_or("single");
+    check_family_options(args, family_name)?;
+    let format = parse_format(args)?;
     let threads = args.option_or("threads", pr_bench::engine::default_threads())?.max(1);
     let seed: u64 = args.option_or("seed", 2010)?;
     let emb = resolve_embedding(&graph, canonical, args)?;
     println!("embedding genus {}", emb.genus());
     let net =
         PrNetwork::compile(&graph, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
+    let stem = format!(
+        "sweep_{}_{family_name}{}",
+        topology_slug(&topo_spec),
+        stem_params(args, &["k", "samples", "radius", "holddown-ms", "seed"])
+    );
 
     match family_name {
         "outage" | "flap" => {
@@ -328,47 +494,17 @@ pub fn sweep(args: &Args) -> CmdResult {
                     worst.pr.injected
                 );
             }
+            if let Some(format) = format {
+                emit(
+                    format,
+                    &stem,
+                    || pr_bench::temporal::rows_csv(&rows),
+                    || serde_json::to_string_pretty(&rows).expect("serializable rows"),
+                );
+            }
         }
         topological => {
-            let family: Box<dyn ScenarioFamily + '_> = match topological {
-                "single" => Box::new(SingleLinkFailures::new(&graph)),
-                "node" => Box::new(NodeFailures::new(&graph)),
-                "multi" => {
-                    let k: usize = args.option_or("k", 2)?;
-                    let samples: usize = args.option_or("samples", 100)?;
-                    let fam = SampledMultiFailures::new(&graph, k, samples, seed);
-                    if fam.len() < samples {
-                        println!(
-                            "note: only {} distinct scenarios exist (asked for {samples})",
-                            fam.len()
-                        );
-                    }
-                    if !fam.all_draws_complete() {
-                        println!("note: the graph cannot lose {k} links; draws fell short");
-                    }
-                    Box::new(fam)
-                }
-                "srlg" => {
-                    if !graph.fully_located() {
-                        return Err("srlg needs PoP coordinates on every node \
-                                    (use a shipped ISP topology)"
-                            .into());
-                    }
-                    let radius: f64 = args.option_or("radius", 500.0)?;
-                    Box::new(SrlgFailures::new(&graph, radius))
-                }
-                "exhaustive" => {
-                    let k: usize = args.option_or("k", 2)?;
-                    Box::new(ExhaustiveKFailures::new(&graph, k))
-                }
-                other => {
-                    return Err(format!(
-                        "--family wants single|multi|node|srlg|exhaustive|outage|flap, \
-                         got {other:?}"
-                    )
-                    .into())
-                }
-            };
+            let family = topological_family(&graph, topological, seed, args)?;
             println!(
                 "family {} ({} scenarios, streamed, {} threads)",
                 family.label(),
@@ -398,7 +534,164 @@ pub fn sweep(args: &Args) -> CmdResult {
                     repair.full_rebuilds
                 );
             }
+            if let Some(format) = format {
+                emit(
+                    format,
+                    &stem,
+                    || pr_bench::stretch::panel_csv(&s, &pr_bench::stretch::figure2_xs()),
+                    || serde_json::to_string_pretty(&s).expect("serializable samples"),
+                );
+            }
         }
+    }
+    Ok(())
+}
+
+/// `pr traffic <topology> [--model gravity|uniform|hotspot] [--flows N]
+/// [--family <...>] [--threads N] [--format csv|json]`.
+///
+/// The traffic-weighted front door: builds a demand matrix, compiles a
+/// flow set (the whole matrix, or `--flows N` sampled proportionally
+/// to demand), and replays it through every scenario of a topological
+/// failure family on the batched dataplane — reporting weighted
+/// coverage, % demand lost, and max-link-utilisation under failure.
+pub fn traffic(args: &Args) -> CmdResult {
+    args.reject_unknown(&[
+        "family",
+        "k",
+        "samples",
+        "radius",
+        "model",
+        "flows",
+        "hotspots",
+        "boost",
+        "seed",
+        "threads",
+        "format",
+        "restarts",
+        "iterations",
+    ])?;
+    let topo_spec = args.positional(0, "topology")?.to_string();
+    let (graph, canonical) = load_topology(&topo_spec)?;
+    let family_name = args.option("family").unwrap_or("single");
+    // Validate the family up front: the shared builder's error message
+    // advertises the temporal families, which `pr traffic` (a static
+    // replay) does not accept.
+    if !["single", "multi", "node", "srlg", "exhaustive"].contains(&family_name) {
+        let hint = if matches!(family_name, "outage" | "flap") {
+            " (pr traffic replays static failure scenarios; temporal families are pr sweep only)"
+        } else {
+            ""
+        };
+        return Err(format!(
+            "--family wants single|multi|node|srlg|exhaustive, got {family_name:?}{hint}"
+        )
+        .into());
+    }
+    check_family_options(args, family_name)?;
+    let model_name = args.option("model").unwrap_or("gravity");
+    for opt in ["hotspots", "boost"] {
+        if args.option(opt).is_some() && model_name != "hotspot" {
+            return Err(format!(
+                "option --{opt} does not apply to --model {model_name} \
+                 (it belongs to --model hotspot)"
+            )
+            .into());
+        }
+    }
+    let format = parse_format(args)?;
+    let threads = args.option_or("threads", pr_bench::engine::default_threads())?.max(1);
+    let seed: u64 = args.option_or("seed", 2010)?;
+
+    let model: Box<dyn TrafficModel> = match model_name {
+        "uniform" => Box::new(UniformTraffic::new(&graph)),
+        "gravity" => {
+            if !graph.fully_located() {
+                return Err("the gravity model needs PoP coordinates on every node \
+                            (use a shipped ISP topology, or --model uniform|hotspot)"
+                    .into());
+            }
+            Box::new(GravityTraffic::new(&graph))
+        }
+        "hotspot" => {
+            let n = graph.node_count();
+            let hotspots: usize = args.option_or("hotspots", (n / 8).max(1))?;
+            let boost: f64 = args.option_or("boost", 8.0)?;
+            if hotspots == 0 || hotspots >= n {
+                return Err(format!(
+                    "--hotspots wants a value in 1..{n} (the node count), got {hotspots}"
+                )
+                .into());
+            }
+            if boost <= 0.0 {
+                return Err(format!("--boost wants a positive factor, got {boost}").into());
+            }
+            Box::new(HotspotTraffic::new(&graph, hotspots, boost, seed))
+        }
+        other => return Err(format!("--model wants gravity|uniform|hotspot, got {other:?}").into()),
+    };
+    let flows = match args.option_or("flows", 0usize)? {
+        0 if args.option("flows").is_some() => {
+            return Err("--flows wants a positive sample count \
+                        (omit it to replay the full matrix)"
+                .into())
+        }
+        0 => FlowSet::all_pairs(model.as_ref()),
+        n => FlowSet::sampled(model.as_ref(), n, seed),
+    };
+
+    let emb = resolve_embedding(&graph, canonical, args)?;
+    println!("embedding genus {}", emb.genus());
+    let net =
+        PrNetwork::compile(&graph, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
+    let family = topological_family(&graph, family_name, seed, args)?;
+    println!(
+        "model {} ({} flows, {:.1} demand offered); family {} ({} scenarios, {} threads)",
+        flows.label(),
+        flows.len(),
+        flows.offered(),
+        family.label(),
+        family.len(),
+        threads
+    );
+
+    let rows = pr_bench::traffic::run(&graph, &net, family.as_ref(), &flows, threads);
+    let s = pr_bench::traffic::summarize(&rows);
+    println!(
+        "weighted coverage:     {:.6} (delivered share of affected, connected demand)",
+        s.weighted_coverage()
+    );
+    println!(
+        "demand lost:           {:.4}% ({:.1} of {:.1} per-scenario demand units)",
+        100.0 * s.demand_lost_fraction(),
+        s.tally.lost(),
+        s.tally.offered
+    );
+    print!("max link utilisation:  {:.4}", s.max_link_utilisation);
+    match s.peak_scenario.and_then(|i| rows[i].traffic.peak_link.map(|l| (i, l))) {
+        Some((scenario, link)) => {
+            let (a, b) = graph.endpoints(link);
+            println!(" (scenario {scenario}, link {}-{})", graph.node_name(a), graph.node_name(b));
+        }
+        None => println!(),
+    }
+    if let Some(stretch) = s.tally.mean_weighted_stretch() {
+        println!("mean weighted stretch: {stretch:.4} (over delivered affected demand)");
+    }
+    if let Some(format) = format {
+        emit(
+            format,
+            &format!(
+                "traffic_{}_{model_name}_{family_name}{}",
+                topology_slug(&topo_spec),
+                stem_params(
+                    args,
+                    &["k", "samples", "radius", "flows", "hotspots", "boost", "seed"]
+                )
+            ),
+            || pr_bench::traffic::rows_csv(&rows),
+            || serde_json::to_string_pretty(&rows).expect("serializable rows"),
+        );
     }
     Ok(())
 }
@@ -451,10 +744,101 @@ mod tests {
 
     #[test]
     fn sweep_runs_every_topological_family_on_figure1() {
-        for family in ["single", "node", "exhaustive"] {
-            sweep(&args(&format!("figure1 --family {family} --k 2 --threads 2"))).unwrap();
+        for family in ["single", "node"] {
+            sweep(&args(&format!("figure1 --family {family} --threads 2"))).unwrap();
         }
+        sweep(&args("figure1 --family exhaustive --k 2 --threads 2")).unwrap();
         sweep(&args("figure1 --family multi --k 2 --samples 3")).unwrap();
+    }
+
+    #[test]
+    fn sweep_rejects_family_specific_flags_under_the_wrong_family() {
+        // --k belongs to multi|exhaustive.
+        let err = sweep(&args("figure1 --family single --k 2")).unwrap_err().to_string();
+        assert!(err.contains("--k") && err.contains("multi|exhaustive"), "{err}");
+        // --radius belongs to srlg.
+        let err = sweep(&args("figure1 --family single --radius 500")).unwrap_err().to_string();
+        assert!(err.contains("--radius") && err.contains("srlg"), "{err}");
+        // --samples belongs to multi.
+        assert!(sweep(&args("figure1 --family exhaustive --k 2 --samples 5")).is_err());
+        // --holddown-ms belongs to flap.
+        assert!(sweep(&args("figure1 --family outage --holddown-ms 10")).is_err());
+        // ...and the flags still work with their own family.
+        sweep(&args("figure1 --family exhaustive --k 2")).unwrap();
+    }
+
+    #[test]
+    fn sweep_and_traffic_write_format_artefacts() {
+        sweep(&args("figure1 --family single --format csv")).unwrap();
+        assert!(pr_bench::results_dir().join("sweep_figure1_single.csv").is_file());
+        sweep(&args("figure1 --family single --format json")).unwrap();
+        assert!(pr_bench::results_dir().join("sweep_figure1_single.json").is_file());
+        traffic(&args("figure1 --model uniform --family single --format csv")).unwrap();
+        let csv = pr_bench::results_dir().join("traffic_figure1_uniform_single.csv");
+        let text = std::fs::read_to_string(csv).unwrap();
+        assert!(text.starts_with("scenario,failures,"), "{text}");
+        assert!(sweep(&args("figure1 --family single --format yaml")).is_err());
+        // Parameterised runs land in distinct files instead of
+        // clobbering each other.
+        sweep(&args("figure1 --family exhaustive --k 2 --format csv")).unwrap();
+        sweep(&args("figure1 --family exhaustive --k 3 --format csv")).unwrap();
+        assert!(pr_bench::results_dir().join("sweep_figure1_exhaustive_k2.csv").is_file());
+        assert!(pr_bench::results_dir().join("sweep_figure1_exhaustive_k3.csv").is_file());
+    }
+
+    #[test]
+    fn traffic_runs_models_and_families() {
+        // figure1 has no coordinates: uniform and hotspot work, gravity
+        // must refuse clearly.
+        traffic(&args("figure1 --model uniform --threads 2")).unwrap();
+        traffic(&args("figure1 --model hotspot --hotspots 2 --boost 4 --flows 20")).unwrap();
+        let err = traffic(&args("figure1")).unwrap_err().to_string();
+        assert!(err.contains("coordinates"), "{err}");
+        // Gravity on a located topology, sampled flows, multi family.
+        traffic(&args("abilene --model gravity --flows 50 --family multi --k 2 --samples 3"))
+            .unwrap();
+    }
+
+    #[test]
+    fn sweep_and_traffic_reject_unknown_options() {
+        // A misplaced option from the other subcommand...
+        let err = sweep(&args("figure1 --family single --model gravity")).unwrap_err().to_string();
+        assert!(err.contains("unknown option --model"), "{err}");
+        // ...and a typo must both fail loudly, not run a silently
+        // different experiment.
+        let err = traffic(&args("figure1 --model uniform --flow 5")).unwrap_err().to_string();
+        assert!(err.contains("unknown option --flow"), "{err}");
+        assert!(traffic(&args("figure1 --model uniform --stats")).is_err());
+        // Every subcommand rejects typos, not just the new ones.
+        let err = stretch(&args("figure1 --thread 4")).unwrap_err().to_string();
+        assert!(err.contains("unknown option --thread"), "{err}");
+        assert!(info(&args("figure1 --seed 1")).is_err(), "info takes no options");
+        assert!(embed(&args("figure1 --k 2")).is_err());
+        assert!(walk(&args("figure1 A F --failures 1")).is_err(), "--failures is not --fail");
+    }
+
+    #[test]
+    fn traffic_rejects_explicit_zero_flows() {
+        let err = traffic(&args("figure1 --model uniform --flows 0")).unwrap_err().to_string();
+        assert!(err.contains("--flows"), "{err}");
+        assert!(err.contains("omit"), "hint at the all-pairs default: {err}");
+    }
+
+    #[test]
+    fn traffic_rejects_bad_flags() {
+        assert!(traffic(&args("figure1 --model banana")).is_err());
+        let err =
+            traffic(&args("figure1 --model uniform --family outage")).unwrap_err().to_string();
+        assert!(err.contains("single|multi|node|srlg|exhaustive"), "{err}");
+        assert!(err.contains("pr sweep"), "temporal hint: {err}");
+        let err =
+            traffic(&args("figure1 --model uniform --family banana")).unwrap_err().to_string();
+        assert!(!err.contains("outage"), "must not advertise temporal families: {err}");
+        assert!(traffic(&args("figure1 --model uniform --k 2")).is_err(), "wrong-family flag");
+        let err = traffic(&args("figure1 --model uniform --boost 2")).unwrap_err().to_string();
+        assert!(err.contains("--boost") && err.contains("hotspot"), "{err}");
+        assert!(traffic(&args("figure1 --model hotspot --hotspots 99")).is_err());
+        assert!(traffic(&args("figure1 --model hotspot --boost -1")).is_err());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! pr walk    <topology> <src> <dst> [--fail A-B]... [--mode basic|dd] [--seed N]
 //! pr stretch <topology> [--failures K] [--samples N] [--seed N]
 //! pr sweep   <topology> --family <single|multi|node|srlg|exhaustive|outage|flap> [--threads N]
+//! pr traffic <topology> [--model gravity|uniform|hotspot] [--flows N] [--family <...>]
 //! ```
 //!
 //! `<topology>` is `abilene`, `teleglobe`, `geant`, `figure1`, or a
@@ -39,6 +40,7 @@ fn main() {
         "walk" => commands::walk(&parsed),
         "stretch" => commands::stretch(&parsed),
         "sweep" => commands::sweep(&parsed),
+        "traffic" => commands::traffic(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

@@ -108,6 +108,29 @@ fn sweep_rejects_unknown_family_and_srlg_without_coordinates() {
 }
 
 #[test]
+fn traffic_reports_weighted_metrics_end_to_end() {
+    let out =
+        run(&["traffic", "abilene", "--model", "gravity", "--family", "single", "--threads", "2"]);
+    assert!(out.status.success(), "traffic failed: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("model gravity/all-pairs"), "model header missing:\n{text}");
+    assert!(text.contains("weighted coverage:"), "coverage line missing:\n{text}");
+    assert!(text.contains("demand lost:"), "loss line missing:\n{text}");
+    assert!(text.contains("max link utilisation:"), "utilisation line missing:\n{text}");
+}
+
+#[test]
+fn traffic_and_sweep_reject_misplaced_family_flags() {
+    let out = run(&["sweep", "figure1", "--family", "single", "--radius", "500"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("--radius"), "{}", stderr(&out));
+
+    let out = run(&["traffic", "figure1", "--model", "uniform", "--k", "3"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("--k"), "{}", stderr(&out));
+}
+
+#[test]
 fn walk_delivers_around_a_failure_end_to_end() {
     // The paper's §4.3 walkthrough: A -> F on Figure 1 with D-E down.
     let out = run(&["walk", "figure1", "A", "F", "--fail", "D-E"]);

@@ -48,6 +48,7 @@
 #![warn(rust_2018_idioms)]
 
 mod agent;
+mod fib;
 mod header;
 mod scratch;
 mod tables;
@@ -55,6 +56,7 @@ pub mod trace;
 mod walker;
 
 pub use agent::{DropReason, ForwardDecision, ForwardingAgent, PrAgent, PrMode, PrNetwork};
+pub use fib::{walk_flow_with, Fib, FibScan, FlowScratch, FlowWalk};
 pub use header::{HeaderCodec, HeaderError, PrHeader};
 pub use scratch::{FxHasher64, WalkScratch};
 pub use tables::{

@@ -50,7 +50,7 @@ mod timed;
 
 pub use driver::{igp_for, igp_for_with, run_scenario};
 pub use event::EventQueue;
-pub use metrics::{Metrics, SimDropReason};
+pub use metrics::{DemandTally, Metrics, SimDropReason};
 pub use simulator::{SimConfig, Simulator};
 pub use time::{transmission_nanos, SimTime};
 pub use timed::{ReconvergingIgp, Static, TimedForwarding};

@@ -1,0 +1,234 @@
+//! Flow sets: the unit of replay.
+//!
+//! A [`FlowSet`] is a batch of `(src, dst, demand)` flows compiled
+//! from a [`TrafficModel`], stored **destination-major** so the replay
+//! dataplane can amortise per-destination state (the repaired survivor
+//! tree, the walk scratch) over a whole group — the same grouping the
+//! sweep engine uses for its `(scenario × destination)` units.
+//!
+//! Two compilations:
+//!
+//! * [`FlowSet::all_pairs`] — one flow per ordered pair with positive
+//!   demand. Replaying it evaluates the *whole* matrix; under the
+//!   uniform unit model this reproduces the unweighted coverage counts
+//!   exactly.
+//! * [`FlowSet::sampled`] — `n` flows drawn from the matrix by inverse
+//!   transform sampling on a splitmix64 stream (the scenario-seeding
+//!   discipline: draw `i` is pure in `(seed, i)`). Each draw carries
+//!   `total_demand / n`, so the sampled set is an unbiased estimate of
+//!   the matrix at any sample count; duplicate draws of a pair
+//!   coalesce into one flow with the summed demand.
+
+use pr_graph::NodeId;
+use pr_scenarios::scenario_seed;
+use serde::Serialize;
+
+use crate::TrafficModel;
+
+/// One flow: a demand between an ordered pair of nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Flow {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Demand carried by this flow (positive).
+    pub demand: f64,
+}
+
+/// A destination-major batch of flows compiled from a traffic model.
+#[derive(Debug, Clone, Serialize)]
+pub struct FlowSet {
+    label: String,
+    flows: Vec<Flow>,
+    /// One `(dst, start..end)` range into `flows` per destination with
+    /// at least one flow, in destination order.
+    groups: Vec<(NodeId, usize, usize)>,
+    offered: f64,
+}
+
+impl FlowSet {
+    /// One flow per ordered pair with positive demand — the full
+    /// matrix, destination-major, sources in node order within each
+    /// destination.
+    pub fn all_pairs(model: &dyn TrafficModel) -> FlowSet {
+        let n = model.node_count();
+        let mut flows = Vec::with_capacity(n * n.saturating_sub(1));
+        for dst in 0..n as u32 {
+            for src in 0..n as u32 {
+                let demand = model.demand(NodeId(src), NodeId(dst));
+                if demand > 0.0 {
+                    flows.push(Flow { src: NodeId(src), dst: NodeId(dst), demand });
+                }
+            }
+        }
+        FlowSet::from_sorted(format!("{}/all-pairs", model.label()), flows)
+    }
+
+    /// `samples` flows drawn from the matrix proportionally to demand
+    /// (inverse-CDF over a splitmix64 stream — deterministic in
+    /// `seed`), each carrying `total_demand / samples`; duplicate
+    /// draws of a pair coalesce. The result is destination-major like
+    /// [`FlowSet::all_pairs`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `samples` is zero or the model's total demand is
+    /// not positive.
+    pub fn sampled(model: &dyn TrafficModel, samples: usize, seed: u64) -> FlowSet {
+        assert!(samples > 0, "cannot sample an empty flow set");
+        let n = model.node_count();
+        // Cumulative demand over pairs in destination-major order.
+        let mut cumulative = Vec::with_capacity(n * n);
+        let mut total = 0.0;
+        for dst in 0..n as u32 {
+            for src in 0..n as u32 {
+                total += model.demand(NodeId(src), NodeId(dst));
+                cumulative.push(total);
+            }
+        }
+        assert!(total > 0.0, "traffic model offers no demand");
+
+        let mut hits = vec![0u32; n * n];
+        for draw in 0..samples {
+            // 53 uniform mantissa bits in [0, 1), scaled to the total.
+            let unit = (scenario_seed(seed, draw) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            let target = unit * total;
+            let mut pair = cumulative.partition_point(|&c| c <= target).min(n * n - 1);
+            // `unit * total` can round up to exactly `total`, landing
+            // the clamp on a trailing zero-demand pair (the diagonal
+            // corner); back up to the last pair that carries demand so
+            // a self-flow can never be drawn.
+            while pair > 0 && cumulative[pair] - cumulative[pair - 1] <= 0.0 {
+                pair -= 1;
+            }
+            hits[pair] += 1;
+        }
+
+        let per_draw = total / samples as f64;
+        let mut flows = Vec::new();
+        for (pair, &count) in hits.iter().enumerate() {
+            if count > 0 {
+                let (dst, src) = ((pair / n) as u32, (pair % n) as u32);
+                flows.push(Flow {
+                    src: NodeId(src),
+                    dst: NodeId(dst),
+                    demand: f64::from(count) * per_draw,
+                });
+            }
+        }
+        FlowSet::from_sorted(format!("{}/sampled({samples}, seed={seed})", model.label()), flows)
+    }
+
+    /// Builds the grouped representation from destination-major flows.
+    fn from_sorted(label: String, flows: Vec<Flow>) -> FlowSet {
+        let mut groups: Vec<(NodeId, usize, usize)> = Vec::new();
+        for (i, f) in flows.iter().enumerate() {
+            match groups.last_mut() {
+                Some((dst, _, end)) if *dst == f.dst => *end = i + 1,
+                _ => groups.push((f.dst, i, i + 1)),
+            }
+        }
+        let offered = flows.iter().map(|f| f.demand).sum();
+        FlowSet { label, flows, groups, offered }
+    }
+
+    /// Human-readable provenance (`model/all-pairs`, `model/sampled(…)`).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Number of flows in the set.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// `true` if the set holds no flows.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Total demand offered by the set.
+    pub fn offered(&self) -> f64 {
+        self.offered
+    }
+
+    /// All flows, destination-major.
+    pub fn flows(&self) -> &[Flow] {
+        &self.flows
+    }
+
+    /// The `i`-th flow.
+    pub fn flow(&self, i: usize) -> &Flow {
+        &self.flows[i]
+    }
+
+    /// Iterates `(destination, flows-towards-it)` groups in
+    /// destination order — the replay dataplane's batching axis.
+    pub fn by_destination(&self) -> impl Iterator<Item = (NodeId, &[Flow])> {
+        self.groups.iter().map(move |&(dst, start, end)| (dst, &self.flows[start..end]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UniformTraffic;
+    use pr_graph::generators;
+
+    #[test]
+    fn all_pairs_is_destination_major_and_complete() {
+        let g = generators::ring(5, 1);
+        let set = FlowSet::all_pairs(&UniformTraffic::new(&g));
+        assert_eq!(set.len(), 5 * 4);
+        assert_eq!(set.offered(), 20.0);
+        assert!(!set.is_empty());
+        assert!(set.label().starts_with("uniform/all-pairs"));
+        // Destination-major, sources ascending within a destination.
+        let mut expected = 0;
+        for (dst, flows) in set.by_destination() {
+            assert_eq!(dst, NodeId(expected));
+            expected += 1;
+            assert_eq!(flows.len(), 4);
+            for w in flows.windows(2) {
+                assert!(w[0].src.0 < w[1].src.0);
+            }
+            assert!(flows.iter().all(|f| f.dst == dst && f.src != dst && f.demand == 1.0));
+        }
+        assert_eq!(expected, 5);
+        assert_eq!(set.flow(0).dst, NodeId(0));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_grouped_and_demand_preserving() {
+        let g = generators::ring(6, 1);
+        let m = UniformTraffic::new(&g);
+        let a = FlowSet::sampled(&m, 100, 42);
+        let b = FlowSet::sampled(&m, 100, 42);
+        assert_eq!(a.flows(), b.flows(), "same seed, same draws");
+        let c = FlowSet::sampled(&m, 100, 43);
+        assert_ne!(a.flows(), c.flows(), "different seed, different draws");
+        // Total demand is conserved exactly up to float association.
+        assert!((a.offered() - m.total_demand()).abs() < 1e-9);
+        // Grouped destination-major with coalesced duplicates.
+        let mut seen = std::collections::BTreeSet::new();
+        let mut last_dst = None;
+        for (dst, flows) in a.by_destination() {
+            if let Some(prev) = last_dst {
+                assert!(dst.0 > prev, "destinations ascend");
+            }
+            last_dst = Some(dst.0);
+            for f in flows {
+                assert!(seen.insert((f.src.0, f.dst.0)), "pairs are coalesced");
+                assert!(f.demand > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn sampling_zero_flows_panics() {
+        let g = generators::ring(4, 1);
+        let _ = FlowSet::sampled(&UniformTraffic::new(&g), 0, 1);
+    }
+}

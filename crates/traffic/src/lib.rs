@@ -1,0 +1,70 @@
+//! # pr-traffic — the traffic-workload subsystem
+//!
+//! The paper's headline claim is *eliminating packet losses*, but a
+//! sweep that counts unweighted (scenario × destination) pairs treats
+//! a dead link carrying 40% of an ISP's traffic the same as one
+//! carrying none. This crate makes traffic a first-class workload:
+//!
+//! * [`TrafficModel`] — deterministic, random-access demand matrices:
+//!   [`UniformTraffic`] (the exact unit matrix), [`GravityTraffic`]
+//!   (masses from provisioned capacity, friction from the great-circle
+//!   distance between the shipped PoP coordinates), and
+//!   [`HotspotTraffic`] (seeded hot-PoP skew). [`TrafficMatrix`]
+//!   materialises any of them.
+//! * [`FlowSet`] — destination-major batches of `(src, dst, demand)`
+//!   flows: the whole matrix ([`FlowSet::all_pairs`]) or a seeded
+//!   sample drawn proportionally to demand ([`FlowSet::sampled`]).
+//! * [`replay_scenario`] — the batched replay dataplane: flows stream
+//!   through `pr-core`'s flat FIB fast path, falling back to the full
+//!   forwarding agent only where a failure touches the shortest path,
+//!   with survivor trees rebuilt by incremental SPT repair.
+//!   [`replay_scenario_naive`] is the one-packet-at-a-time reference
+//!   the throughput benchmark beats.
+//! * [`ScenarioTraffic`] / [`DemandTally`] — demand-weighted
+//!   resilience metrics: weighted coverage, % demand lost, per-link
+//!   peak load and max-link-utilisation under failure.
+//!
+//! The parallel experiment over scenario families lives in
+//! `pr_bench::traffic`; the CLI front door is `pr traffic`.
+//!
+//! ## Example
+//!
+//! ```
+//! use pr_core::{generous_ttl, DiscriminatorKind, Fib, PrMode, PrNetwork};
+//! use pr_embedding::{heuristics, CellularEmbedding};
+//! use pr_graph::{AllPairs, LinkSet};
+//! use pr_traffic::{replay_scenario, FlowSet, GravityTraffic, ReplayScratch};
+//!
+//! let g = pr_topologies::load(pr_topologies::Isp::Abilene, pr_topologies::Weighting::Distance);
+//! let emb = CellularEmbedding::new(&g, heuristics::thorough(&g, 2010, 4, 10_000)).unwrap();
+//! let net = PrNetwork::compile(&g, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
+//!
+//! let base = AllPairs::compute_all_live(&g);
+//! let fib = Fib::from_base(&g, &base);
+//! let flows = FlowSet::all_pairs(&GravityTraffic::new(&g));
+//!
+//! // Fail one link and replay the whole matrix through it.
+//! let failed = LinkSet::from_links(g.link_count(), [g.links().next().unwrap()]);
+//! let mut scratch = ReplayScratch::new();
+//! let out = replay_scenario(
+//!     &g, &net.agent(&g), &fib, &base, &flows, &failed, generous_ttl(&g), &mut scratch,
+//! );
+//! assert_eq!(out.tally.lost(), 0.0); // PR-DD loses no demand to a single failure
+//! assert!(out.max_link_utilisation() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod flows;
+mod model;
+mod replay;
+
+pub use flows::{Flow, FlowSet};
+pub use model::{GravityTraffic, HotspotTraffic, TrafficMatrix, TrafficModel, UniformTraffic};
+pub use replay::{replay_scenario, replay_scenario_naive, ReplayScratch, ScenarioTraffic};
+
+// The demand-weighted tally lives with the other run metrics in
+// `pr-sim`; re-exported here because it is this crate's primary
+// result type.
+pub use pr_sim::DemandTally;

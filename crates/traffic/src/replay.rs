@@ -1,0 +1,315 @@
+//! The batched flow-replay dataplane.
+//!
+//! [`replay_scenario`] drives a whole [`FlowSet`] through one failure
+//! scenario the way PR 2/4 drive scenario sweeps: all
+//! failure-invariant state (the [`Fib`], the hoisted failure-free
+//! trees) is compiled once by the caller, all per-scenario state (the
+//! survivor tree, the walk scratch, the link-load accumulator) lives
+//! in a reusable [`ReplayScratch`], and the per-flow work is the
+//! [`pr_core::walk_flow_with`] batch walker — one FIB lookup chain for
+//! the (common) unaffected flows, the full agent machinery only for
+//! flows a failure actually touched.
+//!
+//! [`replay_scenario_naive`] is the per-packet reference: one
+//! [`walk_packet`] per flow with a fresh scratch, the way a sweep
+//! would evaluate flows one at a time. Both produce the identical
+//! [`ScenarioTraffic`] for the shortest-path-confluent schemes in this
+//! workspace (asserted by tests and the determinism suite); the
+//! batched path is what the throughput benchmark measures against.
+
+use pr_core::{walk_flow_with, walk_packet, Fib, FlowScratch, FlowWalk, ForwardingAgent};
+use pr_graph::{AllPairs, Graph, LinkId, LinkSet, SpScratch, SpTree};
+use pr_sim::DemandTally;
+use serde::Serialize;
+
+use crate::FlowSet;
+
+/// Reusable per-worker state of the batched replay: the flow-walk
+/// scratch (livelock detector + staged-path buffer), the Dijkstra
+/// arena and survivor tree for per-scenario SPT repair, and the
+/// per-link load accumulator. Everything is reset in place — the
+/// steady state allocates nothing per scenario.
+#[derive(Debug)]
+pub struct ReplayScratch<S> {
+    walk: FlowScratch<S>,
+    sp: SpScratch,
+    live: SpTree,
+    loads: Vec<f64>,
+}
+
+impl<S> ReplayScratch<S> {
+    /// Fresh scratch state; buffers grow to the topology on first use.
+    pub fn new() -> ReplayScratch<S> {
+        ReplayScratch {
+            walk: FlowScratch::new(),
+            sp: SpScratch::new(),
+            live: SpTree::placeholder(),
+            loads: Vec::new(),
+        }
+    }
+}
+
+impl<S> Default for ReplayScratch<S> {
+    fn default() -> Self {
+        ReplayScratch::new()
+    }
+}
+
+/// Demand-weighted outcome of replaying one flow set under one failure
+/// scenario.
+///
+/// `PartialEq` compares every field exactly: the parallel traffic
+/// sweep asserts bit-identity against its serial reference.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ScenarioTraffic {
+    /// Per-flow outcomes, demand-weighted.
+    pub tally: DemandTally,
+    /// Largest demand carried by any single link (delivered flows
+    /// only).
+    pub max_link_load: f64,
+    /// The link carrying [`ScenarioTraffic::max_link_load`] (first in
+    /// link order on ties; `None` when nothing was delivered).
+    pub peak_link: Option<LinkId>,
+}
+
+impl ScenarioTraffic {
+    /// Peak link load as a fraction of the offered demand — the
+    /// max-link-utilisation metric (capacity model: every link is
+    /// provisioned for the full offered load, so 0.4 means 40% of all
+    /// traffic crossed one link).
+    pub fn max_link_utilisation(&self) -> f64 {
+        if self.tally.offered == 0.0 {
+            0.0
+        } else {
+            self.max_link_load / self.tally.offered
+        }
+    }
+}
+
+/// Scans a load vector for its peak entry (first link on ties).
+fn peak_load(loads: &[f64]) -> (f64, Option<LinkId>) {
+    let mut max = 0.0;
+    let mut arg = None;
+    for (i, &load) in loads.iter().enumerate() {
+        if load > max {
+            max = load;
+            arg = Some(LinkId(i as u32));
+        }
+    }
+    (max, arg)
+}
+
+/// Replays `flows` under the static failure set `failed` using the
+/// batched dataplane: per destination group, the survivor tree is
+/// rebuilt by incremental repair from the hoisted `base` trees, then
+/// every flow takes the FIB fast path or falls back to the full agent
+/// walk. Delivered flows add their demand to each link they traverse.
+///
+/// `fib` must be compiled from the same `base` trees
+/// ([`Fib::from_base`]) so the affected/unaffected classification
+/// matches the canonical shortest paths.
+#[allow(clippy::too_many_arguments)]
+pub fn replay_scenario<A: ForwardingAgent>(
+    graph: &Graph,
+    agent: &A,
+    fib: &Fib,
+    base: &AllPairs,
+    flows: &FlowSet,
+    failed: &LinkSet,
+    ttl: usize,
+    scratch: &mut ReplayScratch<A::State>,
+) -> ScenarioTraffic
+where
+    A::State: std::hash::Hash + Eq,
+{
+    let ReplayScratch { walk, sp, live, loads } = scratch;
+    loads.clear();
+    loads.resize(graph.link_count(), 0.0);
+
+    let mut tally = DemandTally::default();
+    for (dst, group) in flows.by_destination() {
+        let base_tree = base.towards(dst);
+        live.repair_refresh(base_tree, graph, failed, sp);
+        for flow in group {
+            let outcome = walk_flow_with(
+                graph,
+                agent,
+                fib,
+                flow.src,
+                dst,
+                failed,
+                live,
+                ttl,
+                walk,
+                |d: pr_graph::Dart| loads[d.link().index()] += flow.demand,
+            );
+            match outcome {
+                FlowWalk::Clear { .. } => tally.record_clear(flow.demand),
+                FlowWalk::Recovered { cost, .. } => {
+                    let optimal = base_tree.cost(flow.src).expect("connected base graph");
+                    tally.record_recovered(flow.demand, cost as f64 / optimal as f64);
+                }
+                FlowWalk::Disconnected => tally.record_disconnected(flow.demand),
+                FlowWalk::Dropped(_) => tally.record_dropped(flow.demand),
+            }
+        }
+    }
+
+    let (max_link_load, peak_link) = peak_load(loads);
+    ScenarioTraffic { tally, max_link_load, peak_link }
+}
+
+/// The per-packet reference dataplane: one [`walk_packet`] per flow
+/// with a fresh scratch and a from-scratch survivor tree per
+/// destination — no FIB, no batching, no repair. Produces the
+/// identical [`ScenarioTraffic`] for the shortest-path-confluent
+/// schemes in this workspace; benchmarks measure [`replay_scenario`]
+/// against it.
+pub fn replay_scenario_naive<A: ForwardingAgent>(
+    graph: &Graph,
+    agent: &A,
+    base: &AllPairs,
+    flows: &FlowSet,
+    failed: &LinkSet,
+    ttl: usize,
+) -> ScenarioTraffic
+where
+    A::State: std::hash::Hash + Eq,
+{
+    let mut loads = vec![0.0; graph.link_count()];
+    let mut tally = DemandTally::default();
+    for (dst, group) in flows.by_destination() {
+        let base_tree = base.towards(dst);
+        let live = SpTree::towards(graph, dst, failed);
+        for flow in group {
+            let affected = base_tree.path_crosses(graph, flow.src, failed);
+            if affected && !live.reaches(flow.src) {
+                tally.record_disconnected(flow.demand);
+                continue;
+            }
+            let walk = walk_packet(graph, agent, flow.src, dst, failed, ttl);
+            if !walk.result.is_delivered() {
+                tally.record_dropped(flow.demand);
+                continue;
+            }
+            for d in walk.path.darts() {
+                loads[d.link().index()] += flow.demand;
+            }
+            if affected {
+                let optimal = base_tree.cost(flow.src).expect("connected base graph");
+                tally.record_recovered(flow.demand, walk.cost(graph) as f64 / optimal as f64);
+            } else {
+                tally.record_clear(flow.demand);
+            }
+        }
+    }
+    let (max_link_load, peak_link) = peak_load(&loads);
+    ScenarioTraffic { tally, max_link_load, peak_link }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FlowSet, GravityTraffic, UniformTraffic};
+    use pr_core::{generous_ttl, DiscriminatorKind, PrMode, PrNetwork};
+    use pr_embedding::CellularEmbedding;
+    use pr_topologies::{Isp, Weighting};
+
+    fn abilene_setup() -> (Graph, PrNetwork, AllPairs, Fib) {
+        let g = pr_topologies::load(Isp::Abilene, Weighting::Distance);
+        let rot = pr_embedding::heuristics::thorough(&g, 2010, 4, 10_000);
+        let emb = CellularEmbedding::new(&g, rot).unwrap();
+        assert_eq!(emb.genus(), 0);
+        let net =
+            PrNetwork::compile(&g, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
+        let base = AllPairs::compute_all_live(&g);
+        let fib = Fib::from_base(&g, &base);
+        (g, net, base, fib)
+    }
+
+    #[test]
+    fn no_failure_replay_delivers_everything_on_shortest_paths() {
+        let (g, net, base, fib) = abilene_setup();
+        let agent = net.agent(&g);
+        let flows = FlowSet::all_pairs(&UniformTraffic::new(&g));
+        let none = LinkSet::empty(g.link_count());
+        let mut scratch = ReplayScratch::new();
+        let out =
+            replay_scenario(&g, &agent, &fib, &base, &flows, &none, generous_ttl(&g), &mut scratch);
+        assert_eq!(out.tally.flows as usize, flows.len());
+        assert_eq!(out.tally.delivered, out.tally.offered);
+        assert_eq!(out.tally.evaluated, 0.0, "nothing affected without failures");
+        assert_eq!(out.tally.lost(), 0.0);
+        assert!(out.max_link_load > 0.0);
+        assert!(out.peak_link.is_some());
+        assert!(out.max_link_utilisation() > 0.0 && out.max_link_utilisation() < 1.0);
+    }
+
+    #[test]
+    fn batched_matches_naive_on_every_single_failure() {
+        let (g, net, base, fib) = abilene_setup();
+        let agent = net.agent(&g);
+        let ttl = generous_ttl(&g);
+        let flows = FlowSet::all_pairs(&GravityTraffic::new(&g));
+        let mut scratch = ReplayScratch::new();
+        for link in g.links() {
+            let failed = LinkSet::from_links(g.link_count(), [link]);
+            let batched =
+                replay_scenario(&g, &agent, &fib, &base, &flows, &failed, ttl, &mut scratch);
+            let naive = replay_scenario_naive(&g, &agent, &base, &flows, &failed, ttl);
+            assert_eq!(batched, naive, "link {link}");
+            assert!(batched.tally.evaluated > 0.0, "every link carries some shortest path");
+            assert_eq!(batched.tally.lost(), 0.0, "PR-DD delivers on genus 0 (2EC, k=1)");
+        }
+    }
+
+    #[test]
+    fn disconnecting_failures_lose_exactly_the_cut_demand() {
+        let (g, net, base, fib) = abilene_setup();
+        let agent = net.agent(&g);
+        // Fail every link at a node of degree 2: its traffic row and
+        // column are lost, everything else must still deliver.
+        let victim = g.nodes().find(|&v| g.degree(v) == 2).expect("Abilene has degree-2 PoPs");
+        let mut failed = LinkSet::empty(g.link_count());
+        for d in g.darts_from(victim) {
+            failed.insert(d.link());
+        }
+        let flows = FlowSet::all_pairs(&UniformTraffic::new(&g));
+        let mut scratch = ReplayScratch::new();
+        let out = replay_scenario(
+            &g,
+            &agent,
+            &fib,
+            &base,
+            &flows,
+            &failed,
+            generous_ttl(&g),
+            &mut scratch,
+        );
+        let n = g.node_count() as f64;
+        assert_eq!(out.tally.disconnected, 2.0 * (n - 1.0), "victim's row + column");
+        assert_eq!(out.tally.dropped, 0.0);
+        assert_eq!(out.tally.delivered, out.tally.offered - out.tally.disconnected);
+    }
+
+    #[test]
+    fn sampled_flows_replay_and_conserve_demand() {
+        let (g, net, base, fib) = abilene_setup();
+        let agent = net.agent(&g);
+        let flows = FlowSet::sampled(&GravityTraffic::new(&g), 200, 7);
+        let failed = LinkSet::from_links(g.link_count(), [g.links().next().unwrap()]);
+        let mut scratch = ReplayScratch::new();
+        let out = replay_scenario(
+            &g,
+            &agent,
+            &fib,
+            &base,
+            &flows,
+            &failed,
+            generous_ttl(&g),
+            &mut scratch,
+        );
+        assert_eq!(out.tally.flows as usize, flows.len());
+        assert!((out.tally.offered - flows.offered()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for the traffic-workload subsystem.
+//!
+//! The headline property — weighted coverage under a uniform *unit*
+//! matrix is bit-identical to the unweighted coverage counts — is
+//! checked here at the replay layer over random 2-edge-connected
+//! graphs, and again end-to-end against `pr_bench::coverage` in
+//! `crates/bench/tests/determinism.rs`.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pr_core::{generous_ttl, walk_packet, DiscriminatorKind, Fib, PrMode, PrNetwork, WalkResult};
+use pr_embedding::{CellularEmbedding, RotationSystem};
+use pr_graph::{generators, AllPairs, Graph, SpTree};
+use pr_scenarios::{ScenarioFamily, SingleLinkFailures};
+use pr_traffic::{
+    replay_scenario, replay_scenario_naive, FlowSet, HotspotTraffic, ReplayScratch, TrafficMatrix,
+    TrafficModel, UniformTraffic,
+};
+
+/// A reproducible random 2-edge-connected graph.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (4usize..16, 0usize..8, 0u64..u64::MAX).prop_map(|(n, chords, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        generators::random_two_edge_connected(n, chords, 1..=8, &mut rng)
+    })
+}
+
+/// PR-DD over the identity rotation (any genus — drops are legitimate
+/// outcomes and must be weighted like any other).
+fn compile_net(g: &Graph) -> PrNetwork {
+    let emb = CellularEmbedding::new(g, RotationSystem::identity(g)).expect("connected");
+    PrNetwork::compile(g, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Under the uniform unit matrix, the demand-weighted tally *is*
+    /// the unweighted count: weighted coverage equals
+    /// delivered/evaluated computed by a plain per-pair walk loop,
+    /// bit for bit.
+    #[test]
+    fn uniform_unit_weighted_coverage_is_bitwise_unweighted(g in arb_graph()) {
+        let net = compile_net(&g);
+        let agent = net.agent(&g);
+        let base = AllPairs::compute_all_live(&g);
+        let fib = Fib::from_base(&g, &base);
+        let flows = FlowSet::all_pairs(&UniformTraffic::new(&g));
+        let ttl = generous_ttl(&g);
+        let mut scratch = ReplayScratch::new();
+        let singles = SingleLinkFailures::new(&g);
+
+        for i in 0..singles.len() {
+            let failed = singles.scenario(i);
+            let out = replay_scenario(&g, &agent, &fib, &base, &flows, &failed, ttl, &mut scratch);
+
+            // The unweighted reference: exactly the coverage
+            // experiment's conditioning and counters.
+            let (mut evaluated, mut delivered) = (0u64, 0u64);
+            for dst in g.nodes() {
+                let base_tree = base.towards(dst);
+                let live = SpTree::towards(&g, dst, &failed);
+                for src in g.nodes() {
+                    if src == dst || !base_tree.path_crosses(&g, src, &failed) {
+                        continue;
+                    }
+                    if !live.reaches(src) {
+                        continue; // "| path" conditioning
+                    }
+                    evaluated += 1;
+                    if matches!(
+                        walk_packet(&g, &agent, src, dst, &failed, ttl).result,
+                        WalkResult::Delivered
+                    ) {
+                        delivered += 1;
+                    }
+                }
+            }
+            prop_assert_eq!(out.tally.evaluated, evaluated as f64, "scenario {}", i);
+            prop_assert_eq!(out.tally.evaluated_delivered, delivered as f64, "scenario {}", i);
+            let unweighted =
+                if evaluated == 0 { 1.0 } else { delivered as f64 / evaluated as f64 };
+            prop_assert_eq!(out.tally.weighted_coverage(), unweighted, "scenario {}", i);
+        }
+    }
+
+    /// The batched dataplane and the per-packet reference agree
+    /// bit-for-bit on arbitrary graphs and failure scenarios (the
+    /// confluence contract of the FIB fast path).
+    #[test]
+    fn batched_replay_equals_naive_reference(g in arb_graph(), seed in 0u64..1024) {
+        let net = compile_net(&g);
+        let agent = net.agent(&g);
+        let base = AllPairs::compute_all_live(&g);
+        let fib = Fib::from_base(&g, &base);
+        let n = g.node_count();
+        let hot = HotspotTraffic::new(&g, (n / 4).max(1), 4.0, seed);
+        let flows = FlowSet::sampled(&hot, 64, seed);
+        let ttl = generous_ttl(&g);
+        let mut scratch = ReplayScratch::new();
+        let singles = SingleLinkFailures::new(&g);
+        for i in 0..singles.len() {
+            let failed = singles.scenario(i);
+            let batched =
+                replay_scenario(&g, &agent, &fib, &base, &flows, &failed, ttl, &mut scratch);
+            let naive = replay_scenario_naive(&g, &agent, &base, &flows, &failed, ttl);
+            prop_assert_eq!(&batched, &naive, "scenario {}", i);
+        }
+    }
+
+    /// Flow sampling conserves demand, is pure in the seed, and a
+    /// materialised matrix snapshot samples identically to the live
+    /// model.
+    #[test]
+    fn sampling_is_conservative_and_snapshot_stable(
+        g in arb_graph(),
+        samples in 1usize..256,
+        seed in 0u64..u64::MAX,
+    ) {
+        let n = g.node_count();
+        let model = HotspotTraffic::new(&g, (n / 4).max(1), 8.0, seed);
+        let set = FlowSet::sampled(&model, samples, seed);
+        prop_assert!((set.offered() - model.total_demand()).abs() < 1e-6);
+        prop_assert!(set.len() <= samples.min(n * (n - 1)));
+        let again = FlowSet::sampled(&model, samples, seed);
+        prop_assert_eq!(set.flows(), again.flows());
+        let snap = TrafficMatrix::from_model(&model);
+        let from_snap = FlowSet::sampled(&snap, samples, seed);
+        prop_assert_eq!(set.flows(), from_snap.flows());
+        // Every flow's endpoints are distinct and demand positive.
+        for f in set.flows() {
+            prop_assert!(f.src != f.dst);
+            prop_assert!(f.demand > 0.0);
+        }
+    }
+}

@@ -51,6 +51,7 @@
 //! | [`scenarios`] (`pr-scenarios`) | streaming failure families (single/multi/node/SRLG/exhaustive-k) + temporal traces |
 //! | [`sim`] (`pr-sim`) | deterministic discrete-event simulator, loss scenarios |
 //! | [`topologies`] (`pr-topologies`) | Abilene / GÉANT / Teleglobe + the Figure 1 fixture |
+//! | [`traffic`] (`pr-traffic`) | gravity/uniform/hot-spot matrices, flow sets, batched replay |
 //!
 //! The experiment harness (`pr-bench`) is binary-only and not
 //! re-exported; see `DESIGN.md` §4 for the experiment-to-binary map.
@@ -65,6 +66,7 @@ pub use pr_graph as graph;
 pub use pr_scenarios as scenarios;
 pub use pr_sim as sim;
 pub use pr_topologies as topologies;
+pub use pr_traffic as traffic;
 
 /// The items almost every user needs, importable in one line.
 pub mod prelude {
@@ -80,7 +82,8 @@ pub mod prelude {
         Path, SpTree,
     };
     pub use pr_scenarios::{ScenarioFamily, ScenarioIter, TemporalFamily, TemporalScenario};
-    pub use pr_sim::{SimConfig, SimTime, Simulator, Static, TimedForwarding};
+    pub use pr_sim::{DemandTally, SimConfig, SimTime, Simulator, Static, TimedForwarding};
+    pub use pr_traffic::{FlowSet, TrafficMatrix, TrafficModel};
 
     /// Re-exported under a named module to avoid clashing with user
     /// identifiers: `use packet_recycling::prelude::*;` then
@@ -90,4 +93,6 @@ pub mod prelude {
     pub use pr_scenarios as scenarios;
     /// Companion re-export of `pr-topologies`; see `embedding` above.
     pub use pr_topologies as topologies;
+    /// Companion re-export of `pr-traffic`; see `embedding` above.
+    pub use pr_traffic as traffic;
 }
