@@ -6,19 +6,24 @@
 //! fraction of the **traffic** still delivers, and how hot does the
 //! hottest link run while it detours"*. One work unit per scenario,
 //! fanned over [`crate::engine::run_units`]: each unit replays the
-//! whole [`FlowSet`] through `pr-traffic`'s batched dataplane (FIB
-//! fast path + per-scenario SPT repair from the hoisted base trees)
-//! and reports a demand-weighted [`ScenarioTraffic`]. Units merge in
-//! scenario order, so [`run`] is bit-identical to [`run_serial`] at
-//! any thread count (enforced by `tests/determinism.rs`).
+//! whole [`FlowSet`] through `pr-traffic`'s bit-parallel dataplane
+//! (u64 affected-set classification over the staged dense FIB,
+//! bottom-up subtree demand aggregation, per-flow fallback only for
+//! affected-but-connected sources) and reports a demand-weighted
+//! [`ScenarioTraffic`]. Units merge in scenario order, so [`run`] is
+//! bit-identical to [`run_batched`] and [`run_serial`] at any thread
+//! count (enforced by `tests/determinism.rs` — the demand grid makes
+//! every replay sum exact, hence association-free).
 
 use serde::Serialize;
 
-use pr_core::{generous_ttl, Fib, PrNetwork};
+use pr_core::{generous_ttl, DenseFib, Fib, PrNetwork};
 use pr_graph::{AllPairs, Graph};
 use pr_scenarios::{ScenarioFamily, ScenarioIter};
 use pr_sim::DemandTally;
-use pr_traffic::{replay_scenario, replay_scenario_naive, FlowSet, ReplayScratch};
+use pr_traffic::{
+    replay_scenario, replay_scenario_bitparallel, replay_scenario_naive, FlowSet, ReplayScratch,
+};
 
 use crate::engine::run_units;
 
@@ -76,10 +81,41 @@ pub fn summarize(rows: &[TrafficRow]) -> TrafficSummary {
 }
 
 /// Replays `flows` through every scenario of `family` on `threads`
-/// workers. Failure-invariant state — the base trees, the flat FIB,
-/// the compiled PR agent, the TTL — is hoisted once; each worker owns
-/// a private [`ReplayScratch`] reused across its scenarios.
+/// workers using the bit-parallel dataplane. Failure-invariant state
+/// — the base trees, the flat FIB, the staged dense FIB, the compiled
+/// PR agent, the TTL — is hoisted once; each worker owns a private
+/// [`ReplayScratch`] reused across its scenarios.
 pub fn run(
+    graph: &Graph,
+    pr: &PrNetwork,
+    family: &dyn ScenarioFamily,
+    flows: &FlowSet,
+    threads: usize,
+) -> Vec<TrafficRow> {
+    let base = AllPairs::compute_all_live(graph);
+    let dense = DenseFib::from_base(graph, &base);
+    let agent = pr.agent(graph);
+    let ttl = generous_ttl(graph);
+
+    run_units(
+        family.len(),
+        threads,
+        ReplayScratch::new,
+        |scratch: &mut ReplayScratch<pr_core::PrHeader>, scenario| {
+            let failed = family.scenario(scenario);
+            let traffic = replay_scenario_bitparallel(
+                graph, &agent, &dense, &base, flows, &failed, ttl, scratch,
+            );
+            TrafficRow { scenario, failures: failed.len(), traffic }
+        },
+    )
+}
+
+/// The per-flow batched dataplane (PR 5's fast path, kept as the
+/// middle rung of the throughput ladder): every flow walks the flat
+/// FIB individually, survivor trees rebuilt by incremental repair.
+/// Bit-identical to [`run`] and [`run_serial`].
+pub fn run_batched(
     graph: &Graph,
     pr: &PrNetwork,
     family: &dyn ScenarioFamily,

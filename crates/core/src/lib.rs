@@ -56,7 +56,10 @@ pub mod trace;
 mod walker;
 
 pub use agent::{DropReason, ForwardDecision, ForwardingAgent, PrAgent, PrMode, PrNetwork};
-pub use fib::{walk_flow_with, Fib, FibScan, FlowScratch, FlowWalk};
+pub use fib::{
+    recover_flow_with, walk_flow_with, BitScratch, DenseFib, Fib, FibFrame, FibScan, FlowScratch,
+    FlowWalk,
+};
 pub use header::{HeaderCodec, HeaderError, PrHeader};
 pub use scratch::{FxHasher64, WalkScratch};
 pub use tables::{

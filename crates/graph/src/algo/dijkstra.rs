@@ -132,6 +132,34 @@ impl SpTree {
     pub fn tree_links(&self) -> impl Iterator<Item = crate::LinkId> + '_ {
         self.next.iter().flatten().map(|d| d.link())
     }
+
+    /// Fills `out` with the reachable nodes in the **canonical tree
+    /// order**: increasing `(dist, node id)`. This is exactly the
+    /// Dijkstra finalisation order of [`SpTree::towards`] (weights are
+    /// ≥ 1, so every parent sorts strictly before its children), which
+    /// makes the order a topological order of the tree — the
+    /// destination first, then each node after its parent. One pass
+    /// over it suffices to push any per-node property down (root to
+    /// leaves) or sum it up (leaves to root, iterated in reverse).
+    pub fn canonical_order_into(&self, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.extend((0..self.dist.len() as u32).map(NodeId).filter(|u| self.reaches(*u)));
+        out.sort_unstable_by_key(|u| (self.dist[u.index()], u.0));
+    }
+
+    /// Fills `out` (cleared and resized to one bit per node) with the
+    /// reachability bitset: bit `u` is set iff `u` can reach the
+    /// destination. The word form of [`SpTree::reaches`], built in one
+    /// pass so callers can classify 64 sources per boolean operation
+    /// against other node sets (see [`crate::bits`]).
+    pub fn reach_words_into(&self, out: &mut Vec<u64>) {
+        crate::bits::clear_and_resize(out, self.dist.len());
+        for (i, d) in self.dist.iter().enumerate() {
+            if d.is_some() {
+                crate::bits::set(out, i);
+            }
+        }
+    }
 }
 
 /// Shortest-path trees towards *every* destination over the live links.

@@ -61,6 +61,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod algo;
+pub mod bits;
 mod error;
 pub mod generators;
 mod graph;

@@ -182,6 +182,29 @@ impl DemandTally {
         self.stretch_weight += demand;
     }
 
+    /// Records a whole batch of clear flows from aggregated sums:
+    /// `flows` flows carrying `demand` total, all delivered along
+    /// unaffected shortest paths. Equal to `flows` calls of
+    /// [`DemandTally::record_clear`] whenever the demand sums are
+    /// exact (the grid-quantised demands of `pr-traffic`'s `FlowSet`
+    /// guarantee this) — the constructor the bit-parallel dataplane
+    /// feeds from its word-popcount and subtree-sum aggregates.
+    pub fn record_clear_batch(&mut self, flows: u64, demand: f64) {
+        self.flows += flows;
+        self.offered += demand;
+        self.delivered += demand;
+    }
+
+    /// Records a whole batch of disconnected flows from aggregated
+    /// sums — the batch analogue of
+    /// [`DemandTally::record_disconnected`], same exactness contract
+    /// as [`DemandTally::record_clear_batch`].
+    pub fn record_disconnected_batch(&mut self, flows: u64, demand: f64) {
+        self.flows += flows;
+        self.offered += demand;
+        self.disconnected += demand;
+    }
+
     /// Records a flow whose endpoints the scenario disconnected.
     pub fn record_disconnected(&mut self, demand: f64) {
         self.flows += 1;
@@ -319,6 +342,22 @@ mod tests {
         }
         let (delivered, evaluated): (u64, u64) = (7, 10);
         assert_eq!(t.weighted_coverage(), delivered as f64 / evaluated as f64);
+    }
+
+    #[test]
+    fn demand_tally_batch_constructors_match_per_flow_records() {
+        // On exactly-summable demands (here: halves), batch records are
+        // bitwise equal to the equivalent per-flow record sequence.
+        let mut per_flow = DemandTally::default();
+        per_flow.record_clear(1.5);
+        per_flow.record_clear(2.0);
+        per_flow.record_clear(0.5);
+        per_flow.record_disconnected(1.0);
+        per_flow.record_disconnected(0.5);
+        let mut batch = DemandTally::default();
+        batch.record_clear_batch(3, 1.5 + 2.0 + 0.5);
+        batch.record_disconnected_batch(2, 1.0 + 0.5);
+        assert_eq!(batch, per_flow);
     }
 
     #[test]

@@ -25,6 +25,44 @@ use serde::Serialize;
 
 use crate::TrafficModel;
 
+/// The **demand grid**: every flow's demand is snapped to the nearest
+/// multiple of a power-of-two quantum scaled to the set's total
+/// demand, `2^(⌊log2 total⌋ − 51)`.
+///
+/// This is what lets three very different dataplanes (per-packet
+/// naive, per-flow batched, bit-parallel subtree aggregation) produce
+/// **bit-identical** f64 demand sums: with every demand a multiple of
+/// the quantum `q` and every per-scenario accumulator (link loads,
+/// tally fields) bounded by a small multiple of the total `T`, all
+/// partial sums stay below `2^53 · q ∈ (2T, 4T]` — i.e. every
+/// intermediate value is exactly representable, every addition is
+/// exact, and f64 addition over the grid is **associative**. Sums may
+/// then be regrouped freely (per-flow, per-path, per-subtree, per
+/// word-popcount batch) without changing a single bit. The snap costs
+/// at most `q/2 ≤ T · 2^−52` per flow — half an ulp *of the total*.
+///
+/// Returns the quantum for a positive finite total.
+fn demand_quantum(total: f64) -> f64 {
+    assert!(total.is_finite() && total > 0.0, "demand grid needs a positive total, got {total}");
+    let biased_exp = (total.to_bits() >> 52) & 0x7ff;
+    assert!(biased_exp != 0, "demand grid does not support subnormal totals");
+    // quantum = 2^(e − 51) built directly from the biased exponent,
+    // clamped to the smallest normal so the grid never goes subnormal.
+    f64::from_bits(biased_exp.saturating_sub(51).max(1) << 52)
+}
+
+/// Snaps one positive demand onto the grid; demands below half a
+/// quantum round to the smallest grid point instead of vanishing, so
+/// a positive flow stays positive.
+fn snap_to_grid(demand: f64, quantum: f64) -> f64 {
+    let snapped = (demand / quantum).round() * quantum;
+    if snapped == 0.0 {
+        quantum
+    } else {
+        snapped
+    }
+}
+
 /// One flow: a demand between an ordered pair of nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct Flow {
@@ -78,37 +116,47 @@ impl FlowSet {
     pub fn sampled(model: &dyn TrafficModel, samples: usize, seed: u64) -> FlowSet {
         assert!(samples > 0, "cannot sample an empty flow set");
         let n = model.node_count();
-        // Cumulative demand over pairs in destination-major order.
-        let mut cumulative = Vec::with_capacity(n * n);
+        // Compact inverse CDF: cumulative demand over the
+        // positive-demand pairs only, destination-major. Zero-demand
+        // pairs add `0.0` to the running total — which leaves it
+        // bit-unchanged — so the compact CDF ends at the same total a
+        // dense one would, and because `partition_point` steps past
+        // equal entries every target lands on the same pair a dense
+        // scan would pick. Compacting removes both the diagonal and
+        // any sparse structure from the per-draw binary search, and
+        // makes the hit tally proportional to carried pairs, not n².
+        let mut pairs: Vec<u32> = Vec::new();
+        let mut cumulative: Vec<f64> = Vec::new();
         let mut total = 0.0;
         for dst in 0..n as u32 {
             for src in 0..n as u32 {
-                total += model.demand(NodeId(src), NodeId(dst));
-                cumulative.push(total);
+                let demand = model.demand(NodeId(src), NodeId(dst));
+                if demand > 0.0 {
+                    total += demand;
+                    pairs.push(dst * n as u32 + src);
+                    cumulative.push(total);
+                }
             }
         }
         assert!(total > 0.0, "traffic model offers no demand");
 
-        let mut hits = vec![0u32; n * n];
+        let mut hits = vec![0u32; pairs.len()];
         for draw in 0..samples {
             // 53 uniform mantissa bits in [0, 1), scaled to the total.
             let unit = (scenario_seed(seed, draw) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
             let target = unit * total;
-            let mut pair = cumulative.partition_point(|&c| c <= target).min(n * n - 1);
-            // `unit * total` can round up to exactly `total`, landing
-            // the clamp on a trailing zero-demand pair (the diagonal
-            // corner); back up to the last pair that carries demand so
-            // a self-flow can never be drawn.
-            while pair > 0 && cumulative[pair] - cumulative[pair - 1] <= 0.0 {
-                pair -= 1;
-            }
-            hits[pair] += 1;
+            // `unit * total` can round up to exactly `total`; the
+            // clamp keeps that corner on the last carried pair, so a
+            // self-flow can never be drawn.
+            let hit = cumulative.partition_point(|&c| c <= target).min(pairs.len() - 1);
+            hits[hit] += 1;
         }
 
         let per_draw = total / samples as f64;
         let mut flows = Vec::new();
-        for (pair, &count) in hits.iter().enumerate() {
+        for (i, &count) in hits.iter().enumerate() {
             if count > 0 {
+                let pair = pairs[i] as usize;
                 let (dst, src) = ((pair / n) as u32, (pair % n) as u32);
                 flows.push(Flow {
                     src: NodeId(src),
@@ -120,8 +168,17 @@ impl FlowSet {
         FlowSet::from_sorted(format!("{}/sampled({samples}, seed={seed})", model.label()), flows)
     }
 
-    /// Builds the grouped representation from destination-major flows.
-    fn from_sorted(label: String, flows: Vec<Flow>) -> FlowSet {
+    /// Builds the grouped representation from destination-major flows,
+    /// snapping every demand onto the set's demand grid (see
+    /// [`demand_quantum`]) so replay sums are association-free.
+    fn from_sorted(label: String, mut flows: Vec<Flow>) -> FlowSet {
+        let raw_total: f64 = flows.iter().map(|f| f.demand).sum();
+        if raw_total > 0.0 {
+            let quantum = demand_quantum(raw_total);
+            for f in &mut flows {
+                f.demand = snap_to_grid(f.demand, quantum);
+            }
+        }
         let mut groups: Vec<(NodeId, usize, usize)> = Vec::new();
         for (i, f) in flows.iter().enumerate() {
             match groups.last_mut() {
@@ -223,6 +280,36 @@ mod tests {
                 assert!(f.demand > 0.0);
             }
         }
+    }
+
+    #[test]
+    fn demands_live_on_the_power_of_two_grid() {
+        let g = generators::ring(7, 3);
+        let m = crate::HotspotTraffic::new(&g, 2, 8.0, 9);
+        let set = FlowSet::all_pairs(&m);
+        // Reconstruct the raw (pre-snap) total in compilation order.
+        let mut raw = 0.0;
+        for dst in 0..7u32 {
+            for src in 0..7u32 {
+                let d = m.demand(NodeId(src), NodeId(dst));
+                if d > 0.0 {
+                    raw += d;
+                }
+            }
+        }
+        let quantum = demand_quantum(raw);
+        assert!(quantum > 0.0 && quantum.log2().fract() == 0.0, "quantum is a power of two");
+        for f in set.flows() {
+            // Every demand is an exact multiple of the quantum…
+            assert_eq!((f.demand / quantum).fract(), 0.0, "{} off grid", f.demand);
+            // …within half a quantum of the raw model demand.
+            let d = m.demand(f.src, f.dst);
+            assert!((f.demand - d).abs() <= quantum, "snap moved {d} to {}", f.demand);
+        }
+        // The snap conserves total demand to half an ulp per flow.
+        assert!((set.offered() - raw).abs() <= set.len() as f64 * quantum);
+        // Snapping tiny positive demands keeps them positive.
+        assert_eq!(snap_to_grid(quantum / 8.0, quantum), quantum);
     }
 
     #[test]

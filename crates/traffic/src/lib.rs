@@ -14,12 +14,16 @@
 //! * [`FlowSet`] — destination-major batches of `(src, dst, demand)`
 //!   flows: the whole matrix ([`FlowSet::all_pairs`]) or a seeded
 //!   sample drawn proportionally to demand ([`FlowSet::sampled`]).
-//! * [`replay_scenario`] — the batched replay dataplane: flows stream
-//!   through `pr-core`'s flat FIB fast path, falling back to the full
-//!   forwarding agent only where a failure touches the shortest path,
-//!   with survivor trees rebuilt by incremental SPT repair.
-//!   [`replay_scenario_naive`] is the one-packet-at-a-time reference
-//!   the throughput benchmark beats.
+//! * [`replay_scenario_bitparallel`] — the bit-parallel
+//!   destination-major dataplane: affected sources classified 64 at a
+//!   time through u64 frontiers over the staged dense FIB, clear
+//!   demand aggregated bottom-up per subtree (one add per tree dart),
+//!   only the affected-but-connected remainder walked per flow.
+//!   [`replay_scenario`] is the per-flow batched dataplane it
+//!   superseded, [`replay_scenario_naive`] the one-packet-at-a-time
+//!   reference; all three produce bit-identical results because flow
+//!   demands live on a power-of-two grid that makes every replay sum
+//!   exact (association-free).
 //! * [`ScenarioTraffic`] / [`DemandTally`] — demand-weighted
 //!   resilience metrics: weighted coverage, % demand lost, per-link
 //!   peak load and max-link-utilisation under failure.
@@ -62,7 +66,10 @@ mod replay;
 
 pub use flows::{Flow, FlowSet};
 pub use model::{GravityTraffic, HotspotTraffic, TrafficMatrix, TrafficModel, UniformTraffic};
-pub use replay::{replay_scenario, replay_scenario_naive, ReplayScratch, ScenarioTraffic};
+pub use replay::{
+    replay_scenario, replay_scenario_bitparallel, replay_scenario_naive, ReplayScratch,
+    ScenarioTraffic,
+};
 
 // The demand-weighted tally lives with the other run metrics in
 // `pr-sim`; re-exported here because it is this crate's primary

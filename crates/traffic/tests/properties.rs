@@ -10,13 +10,16 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use pr_core::{generous_ttl, walk_packet, DiscriminatorKind, Fib, PrMode, PrNetwork, WalkResult};
+use pr_core::{
+    generous_ttl, walk_flow_with, walk_packet, DenseFib, DiscriminatorKind, Fib, FlowScratch,
+    FlowWalk, PrMode, PrNetwork, WalkResult,
+};
 use pr_embedding::{CellularEmbedding, RotationSystem};
-use pr_graph::{generators, AllPairs, Graph, SpTree};
+use pr_graph::{bits, generators, AllPairs, Graph, SpTree};
 use pr_scenarios::{ScenarioFamily, SingleLinkFailures};
 use pr_traffic::{
-    replay_scenario, replay_scenario_naive, FlowSet, HotspotTraffic, ReplayScratch, TrafficMatrix,
-    TrafficModel, UniformTraffic,
+    replay_scenario, replay_scenario_bitparallel, replay_scenario_naive, FlowSet, HotspotTraffic,
+    ReplayScratch, TrafficMatrix, TrafficModel, UniformTraffic,
 };
 
 /// A reproducible random 2-edge-connected graph.
@@ -107,6 +110,98 @@ proptest! {
                 replay_scenario(&g, &agent, &fib, &base, &flows, &failed, ttl, &mut scratch);
             let naive = replay_scenario_naive(&g, &agent, &base, &flows, &failed, ttl);
             prop_assert_eq!(&batched, &naive, "scenario {}", i);
+        }
+    }
+
+    /// The u64-frontier affected-set classification agrees with the
+    /// per-flow machinery on every source of every destination group:
+    /// the affected bit is exactly `path_crosses`, a clear bit is
+    /// exactly a [`FlowWalk::Clear`] outcome of the batched walker,
+    /// and `affected ∧ ¬reach` is exactly [`FlowWalk::Disconnected`].
+    #[test]
+    fn bitset_classification_matches_per_flow_walks(g in arb_graph(), seed in 0u64..1024) {
+        let net = compile_net(&g);
+        let agent = net.agent(&g);
+        let base = AllPairs::compute_all_live(&g);
+        let fib = Fib::from_base(&g, &base);
+        let dense = DenseFib::from_base(&g, &base);
+        let n = g.node_count();
+        let hot = HotspotTraffic::new(&g, (n / 4).max(1), 4.0, seed);
+        let flows = FlowSet::sampled(&hot, 48, seed);
+        let ttl = generous_ttl(&g);
+        let (mut affected, mut reach) = (Vec::new(), Vec::new());
+        let mut walk = FlowScratch::new();
+        let singles = SingleLinkFailures::new(&g);
+        for i in 0..singles.len() {
+            let failed = singles.scenario(i);
+            for (dst, group) in flows.by_destination() {
+                let base_tree = base.towards(dst);
+                dense.affected_into(dst, &failed, &mut affected);
+                let live = SpTree::towards(&g, dst, &failed);
+                live.reach_words_into(&mut reach);
+                for flow in group {
+                    let hit = bits::test(&affected, flow.src.index());
+                    prop_assert_eq!(
+                        hit,
+                        base_tree.path_crosses(&g, flow.src, &failed),
+                        "affected bit vs path_crosses: scenario {} dst {} src {}",
+                        i, dst, flow.src
+                    );
+                    let outcome = walk_flow_with(
+                        &g, &agent, &fib, flow.src, dst, &failed, &live, ttl, &mut walk, |_| {},
+                    );
+                    prop_assert_eq!(
+                        matches!(outcome, FlowWalk::Clear { .. }),
+                        !hit,
+                        "clear bit vs walker: scenario {} dst {} src {}",
+                        i, dst, flow.src
+                    );
+                    prop_assert_eq!(
+                        matches!(outcome, FlowWalk::Disconnected),
+                        hit && !bits::test(&reach, flow.src.index()),
+                        "disconnected class vs walker: scenario {} dst {} src {}",
+                        i, dst, flow.src
+                    );
+                }
+            }
+        }
+    }
+
+    /// Subtree demand aggregation reproduces per-path accumulation
+    /// **exactly**: the bit-parallel dataplane's full link-load vector
+    /// — not just the peak — equals the batched per-flow dataplane's,
+    /// f64-for-f64, and the whole result equals the per-packet
+    /// reference (the demand grid at work: every replay sum is exact,
+    /// so regrouping per subtree cannot move a bit).
+    #[test]
+    fn subtree_aggregated_loads_equal_per_path_accumulation(g in arb_graph(), seed in 0u64..1024) {
+        let net = compile_net(&g);
+        let agent = net.agent(&g);
+        let base = AllPairs::compute_all_live(&g);
+        let fib = Fib::from_base(&g, &base);
+        let dense = DenseFib::from_base(&g, &base);
+        let n = g.node_count();
+        let flows = FlowSet::all_pairs(&HotspotTraffic::new(&g, (n / 4).max(1), 4.0, seed));
+        let ttl = generous_ttl(&g);
+        let mut scratch = ReplayScratch::new();
+        let mut bp_scratch = ReplayScratch::new();
+        let singles = SingleLinkFailures::new(&g);
+        for i in 0..singles.len() {
+            let failed = singles.scenario(i);
+            let batched =
+                replay_scenario(&g, &agent, &fib, &base, &flows, &failed, ttl, &mut scratch);
+            let bp = replay_scenario_bitparallel(
+                &g, &agent, &dense, &base, &flows, &failed, ttl, &mut bp_scratch,
+            );
+            prop_assert_eq!(&bp, &batched, "scenario {}", i);
+            prop_assert_eq!(
+                bp_scratch.link_loads(),
+                scratch.link_loads(),
+                "load vectors diverged in scenario {}",
+                i
+            );
+            let naive = replay_scenario_naive(&g, &agent, &base, &flows, &failed, ttl);
+            prop_assert_eq!(&bp, &naive, "scenario {} (naive)", i);
         }
     }
 

@@ -87,4 +87,29 @@ fn main() {
         sampled.offered(),
         flows.offered(),
     );
+
+    // --- The throughput ladder: flows/s per dataplane ---------------
+    // All three produce the identical rows (the demand grid makes
+    // every replay sum exact); only the time per replayed flow
+    // differs. Serial on purpose — this compares dataplanes, not
+    // thread counts.
+    let per_sweep = (flows.len() * singles.len()) as f64;
+    let ladder = |label: &str, sweep: &mut dyn FnMut() -> Vec<pr_bench::traffic::TrafficRow>| {
+        sweep(); // warmup
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let t = std::time::Instant::now();
+            std::hint::black_box(sweep());
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        println!("  {label:<13} {:>6.1}M flows/s", per_sweep / best / 1e6);
+    };
+    println!(
+        "\nthroughput ladder, gravity x single failures ({} flows x {} scenarios, serial):",
+        flows.len(),
+        singles.len()
+    );
+    ladder("bit-parallel", &mut || pr_bench::traffic::run(&graph, &net, &singles, &flows, 1));
+    ladder("batched", &mut || pr_bench::traffic::run_batched(&graph, &net, &singles, &flows, 1));
+    ladder("naive", &mut || pr_bench::traffic::run_serial(&graph, &net, &singles, &flows));
 }
