@@ -24,7 +24,7 @@ use std::collections::HashMap;
 use std::hash::BuildHasherDefault;
 
 use pr_core::{DropReason, ForwardDecision, ForwardingAgent, FxHasher64};
-use pr_graph::{AllPairs, Dart, Graph, LinkId, LinkSet, NodeId, SpScratch, SpTree};
+use pr_graph::{AllPairs, Dart, Graph, LinkId, LinkSet, NodeId, SpScratch, SpTree, TreeChildren};
 
 /// Per-packet FCP header: the sorted list of link failures the packet
 /// has learnt about.
@@ -58,9 +58,36 @@ impl FcpState {
 /// so cache hits allocate nothing; misses fill via incremental repair
 /// from the hoisted base trees (bit-identical to the recompute) using
 /// the cache's private Dijkstra arena.
+/// One memoised routing answer for a `(dest, carried)` key.
+#[derive(Debug, Clone)]
+enum Route {
+    /// A full repaired tree (agents without a hoisted base map).
+    Tree(SpTree),
+    /// Sorted `(node, next dart)` patches over the hoisted base tree:
+    /// outside the affected cone the repaired tree *is* the base tree,
+    /// so patches answer every query at O(cone) build cost instead of
+    /// the O(n) tree materialisation (`None` = cut off by the carried
+    /// failures).
+    Patch(Vec<(NodeId, Option<Dart>)>),
+}
+
 #[derive(Debug, Clone)]
 struct RouteCache {
-    trees: HashMap<(NodeId, Vec<LinkId>), SpTree, BuildHasherDefault<FxHasher64>>,
+    /// Memoised routes, in insertion order; `index` maps keys to slots.
+    trees: Vec<Route>,
+    index: HashMap<(NodeId, Vec<LinkId>), usize, BuildHasherDefault<FxHasher64>>,
+    /// Lazily built child index per destination's base tree (kept
+    /// across scenarios — it depends only on the base map).
+    children: Vec<Option<Box<TreeChildren>>>,
+    /// Reusable cone-enumeration buffers.
+    cone: Vec<NodeId>,
+    stack: Vec<NodeId>,
+    /// Key of the most recent decision: consecutive hops of one walk
+    /// share their `(dest, carried)` key, so this single-entry fast
+    /// path answers them with one short `Vec` compare — no hashing,
+    /// no key clone.
+    last_key: (NodeId, Vec<LinkId>),
+    last: Option<usize>,
     probe: Vec<LinkId>,
     /// Reusable `G \ carried` bitset for miss recomputes.
     failed_buf: LinkSet,
@@ -71,7 +98,13 @@ struct RouteCache {
 impl Default for RouteCache {
     fn default() -> Self {
         RouteCache {
-            trees: HashMap::default(),
+            trees: Vec::new(),
+            index: HashMap::default(),
+            children: Vec::new(),
+            cone: Vec::new(),
+            stack: Vec::new(),
+            last_key: (NodeId(0), Vec::new()),
+            last: None,
             probe: Vec::new(),
             failed_buf: LinkSet::empty(0),
             scratch: SpScratch::new(),
@@ -149,7 +182,10 @@ impl<'a> FcpAgent<'a> {
     /// No-op on uncached agents.
     pub fn begin_scenario(&self) {
         if let Some(routes) = &self.routes {
-            routes.borrow_mut().trees.clear(); // keeps the map's capacity
+            let mut cache = routes.borrow_mut();
+            cache.trees.clear(); // keeps capacities
+            cache.index.clear();
+            cache.last = None;
         }
     }
 
@@ -180,38 +216,94 @@ impl<'a> FcpAgent<'a> {
             }
         }
         let mut cache = routes.borrow_mut();
-        let RouteCache { trees, probe, failed_buf, scratch } = &mut *cache;
+        let RouteCache {
+            trees,
+            index,
+            children,
+            cone,
+            stack,
+            last_key,
+            last,
+            probe,
+            failed_buf,
+            scratch,
+        } = &mut *cache;
+        let answer = |route: &Route, at: NodeId| -> (Option<Dart>, bool) {
+            match route {
+                Route::Tree(tree) => (tree.next_dart(at), tree.reaches(at)),
+                Route::Patch(patches) => match patches.binary_search_by_key(&at, |p| p.0) {
+                    Ok(i) => (patches[i].1, patches[i].1.is_some()),
+                    Err(_) => {
+                        let base = self.base.expect("patches exist only with a base").towards(dest);
+                        (base.next_dart(at), base.reaches(at))
+                    }
+                },
+            }
+        };
+        // Single-entry fast path: same key as the previous decision
+        // (the common case — consecutive hops of one walk).
+        if let Some(i) = *last {
+            if last_key.0 == dest && last_key.1 == state.carried {
+                return answer(&trees[i], at);
+            }
+        }
         // Keyed lookup without allocating: the probe buffer keeps its
         // capacity across decisions; a fresh key Vec is cloned only on
         // a miss.
         probe.clone_from(&state.carried);
         let key = (dest, std::mem::take(probe));
-        if !trees.contains_key(&key) {
-            if trees.len() >= ROUTE_CACHE_MAX_ENTRIES {
-                trees.clear();
-            }
-            // Rebuild the carried-failure bitset in place, then fill
-            // the miss by incremental repair from the hoisted base
-            // tree when one is available (bit-identical to the full
-            // recompute), else by an arena-backed full Dijkstra.
-            if failed_buf.capacity() != self.graph.link_count() {
-                *failed_buf = LinkSet::empty(self.graph.link_count());
-            } else {
-                failed_buf.clear();
-            }
-            for &l in &state.carried {
-                failed_buf.insert(l);
-            }
-            let tree = match self.base {
-                Some(base) => {
-                    SpTree::repair_from(base.towards(dest), self.graph, dest, failed_buf, scratch)
+        let slot = match index.get(&key) {
+            Some(&i) => i,
+            None => {
+                if trees.len() >= ROUTE_CACHE_MAX_ENTRIES {
+                    trees.clear();
+                    index.clear();
                 }
-                None => SpTree::towards_with(self.graph, dest, failed_buf, scratch),
-            };
-            trees.insert((key.0, key.1.clone()), tree);
-        }
-        let tree = &trees[&key];
-        let decision = (tree.next_dart(at), tree.reaches(at));
+                // Rebuild the carried-failure bitset in place, then
+                // fill the miss: with a hoisted base tree, cone-patch
+                // repair (O(cone) — see `SpTree::repair_cone_routes`);
+                // without one, an arena-backed full Dijkstra. Both are
+                // bit-identical to the full recompute.
+                if failed_buf.capacity() != self.graph.link_count() {
+                    *failed_buf = LinkSet::empty(self.graph.link_count());
+                } else {
+                    failed_buf.clear();
+                }
+                for &l in &state.carried {
+                    failed_buf.insert(l);
+                }
+                let route = match self.base {
+                    Some(base) => {
+                        let tree = base.towards(dest);
+                        if children.is_empty() {
+                            children.resize(self.graph.node_count(), None);
+                        }
+                        let kids = children[dest.index()]
+                            .get_or_insert_with(|| Box::new(TreeChildren::build(self.graph, tree)));
+                        tree.affected_cone(self.graph, kids, failed_buf, cone, stack);
+                        let mut patches = Vec::new();
+                        tree.repair_cone_routes(
+                            self.graph,
+                            failed_buf,
+                            cone,
+                            scratch,
+                            &mut patches,
+                        );
+                        Route::Patch(patches)
+                    }
+                    None => {
+                        Route::Tree(SpTree::towards_with(self.graph, dest, failed_buf, scratch))
+                    }
+                };
+                trees.push(route);
+                index.insert((key.0, key.1.clone()), trees.len() - 1);
+                trees.len() - 1
+            }
+        };
+        let decision = answer(&trees[slot], at);
+        last_key.0 = dest;
+        last_key.1.clone_from(&key.1);
+        *last = Some(slot);
         *probe = key.1;
         decision
     }

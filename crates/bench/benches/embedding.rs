@@ -1,12 +1,129 @@
 //! E9: cost of the offline embedding search itself (face tracing, one
-//! local move, annealing).
+//! local move, annealing), plus the incremental-evaluation gate.
+//!
+//! **The gate** (runs even under `--test`, so CI's bench smoke step
+//! enforces it): on a 500-node synthetic ISP mesh, scoring a candidate
+//! dart move via `FaceScratch::eval_move`/`revert` must be ≥ 5x faster
+//! than the full-retrace reference (`with_dart_moved` + a fresh
+//! `FaceStructure::trace`). The incremental path retraces only the
+//! faces through the moved dart's node — O(degree · face length) — so
+//! on large meshes the expected margin is well above 10x; 5x is the
+//! hard floor against regressions.
+
+use std::time::Instant;
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use pr_embedding::{heuristics, FaceStructure, RotationSystem};
+use pr_embedding::{heuristics, FaceScratch, FaceStructure, RotationSystem};
+use pr_graph::generators::{self, MeshParams};
 use pr_topologies::{Isp, Weighting};
 
+/// Deterministic candidate-move set: the first dart of every node of
+/// degree ≥ 3, rotated one slot — the same move shape the hill-climb
+/// and annealer propose.
+fn candidate_moves(graph: &pr_graph::Graph) -> Vec<(pr_graph::Dart, usize)> {
+    graph
+        .nodes()
+        .filter(|&n| graph.degree(n) >= 3)
+        .map(|n| (graph.darts_from(n)[0], 1))
+        .take(64)
+        .collect()
+}
+
+/// Scores every candidate by cloning the rotation and retracing all
+/// faces — the pre-incremental evaluation path.
+fn eval_full(
+    graph: &pr_graph::Graph,
+    rot: &RotationSystem,
+    moves: &[(pr_graph::Dart, usize)],
+) -> usize {
+    let mut acc = 0;
+    for &(dart, offset) in moves {
+        acc += FaceStructure::trace(graph, &rot.with_dart_moved(graph, dart, offset)).face_count();
+    }
+    acc
+}
+
+/// Scores every candidate through the reusable [`FaceScratch`] arena,
+/// reverting after each evaluation.
+fn eval_incremental(
+    graph: &pr_graph::Graph,
+    rot: &mut RotationSystem,
+    scratch: &mut FaceScratch,
+    moves: &[(pr_graph::Dart, usize)],
+) -> usize {
+    let mut acc = 0;
+    for &(dart, offset) in moves {
+        acc += scratch.eval_move(graph, rot, dart, offset);
+        scratch.revert(rot);
+    }
+    acc
+}
+
+/// The incremental-evaluation regression gate on a 500-node mesh.
+/// Panics (failing the bench run, `--test` smoke mode included) when
+/// `FaceScratch` loses its 5x margin over full retracing.
+///
+/// Measurement discipline matches the flows/s gate: the two evaluators
+/// are timed **interleaved** and each takes its best (minimum) of 20
+/// rounds, so shared-machine throttling hits both sides of the ratio
+/// alike.
+fn incremental_eval_gate() {
+    let graph = generators::isp_mesh(&MeshParams::new(500, 2010));
+    let mut rot = RotationSystem::geometric(&graph).expect("mesh has coordinates");
+    let moves = candidate_moves(&graph);
+    let mut scratch = FaceScratch::new(&graph, &rot);
+
+    // Warmup both paths; the scores must agree or the comparison is
+    // meaningless.
+    let full = eval_full(&graph, &rot, &moves);
+    let incremental = eval_incremental(&graph, &mut rot, &mut scratch, &moves);
+    assert_eq!(full, incremental, "incremental face counts must match full retraces");
+
+    let (mut full_secs, mut inc_secs) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..20 {
+        let t = Instant::now();
+        black_box(eval_full(&graph, &rot, &moves));
+        full_secs = full_secs.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        black_box(eval_incremental(&graph, &mut rot, &mut scratch, &moves));
+        inc_secs = inc_secs.min(t.elapsed().as_secs_f64());
+    }
+
+    let speedup = full_secs / inc_secs;
+    println!(
+        "gate: mesh500 incremental eval {:.2}µs/move, full retrace {:.2}µs/move, \
+         speedup {speedup:.1}x (floor 5x)",
+        inc_secs * 1e6 / moves.len() as f64,
+        full_secs * 1e6 / moves.len() as f64,
+    );
+    assert!(
+        speedup >= 5.0,
+        "embedding gate: FaceScratch::eval_move must be >= 5x a full retrace on the \
+         500-node mesh, got {speedup:.1}x ({:.2}µs vs {:.2}µs per move)",
+        inc_secs * 1e6 / moves.len() as f64,
+        full_secs * 1e6 / moves.len() as f64,
+    );
+}
+
 fn bench_embedding(c: &mut Criterion) {
+    incremental_eval_gate();
+
+    {
+        let graph = generators::isp_mesh(&MeshParams::new(500, 2010));
+        let rot = RotationSystem::geometric(&graph).expect("mesh has coordinates");
+        let moves = candidate_moves(&graph);
+        let mut group = c.benchmark_group("embedding_eval");
+        group.bench_function(BenchmarkId::new("full_retrace", "mesh500"), |b| {
+            b.iter(|| black_box(eval_full(&graph, &rot, &moves)))
+        });
+        group.bench_function(BenchmarkId::new("incremental", "mesh500"), |b| {
+            let mut rot = rot.clone();
+            let mut scratch = FaceScratch::new(&graph, &rot);
+            b.iter(|| black_box(eval_incremental(&graph, &mut rot, &mut scratch, &moves)))
+        });
+        group.finish();
+    }
     let mut group = c.benchmark_group("embedding");
     for isp in Isp::ALL {
         let graph = pr_topologies::load(isp, Weighting::Distance);

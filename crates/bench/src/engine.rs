@@ -31,6 +31,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use pr_graph::{AllPairs, Graph, LinkSet, NodeId, SpTree};
 use pr_scenarios::ScenarioFamily;
 
+pub use crate::shards::run_shards;
+
 /// Largest number of work units a worker claims per queue
 /// interaction. Units are coarse (a destination's whole source fan
 /// under one scenario), so a small cap keeps the tail balanced while

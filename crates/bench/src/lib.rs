@@ -37,6 +37,7 @@ pub mod coverage;
 pub mod engine;
 pub mod overheads;
 pub mod scenario;
+pub mod shards;
 pub mod stretch;
 pub mod temporal;
 pub mod traffic;

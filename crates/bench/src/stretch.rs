@@ -12,11 +12,11 @@
 //! [`run_serial`] at any thread count (enforced by
 //! `tests/determinism.rs`).
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use pr_baselines::FcpAgent;
 use pr_core::{generous_ttl, walk_packet, walk_packet_with, PrNetwork, WalkResult, WalkScratch};
-use pr_graph::{AllPairs, Graph, RepairStats, SpScratch, SpTree};
+use pr_graph::{AllPairs, Graph, NodeId, RepairStats, SpScratch, SpTree, TreeChildren};
 use pr_scenarios::{ScenarioFamily, ScenarioIter};
 
 use crate::engine::ScenarioSweep;
@@ -107,7 +107,10 @@ struct StretchWorker<'a> {
     fcp_scratch: WalkScratch<pr_baselines::FcpState>,
     pr_scratch: WalkScratch<pr_core::PrHeader>,
     sp_scratch: SpScratch,
-    live: SpTree,
+    /// Affected-source buffer of the current unit, ascending node id.
+    cone: Vec<NodeId>,
+    /// DFS stack for the cone enumeration.
+    stack: Vec<NodeId>,
 }
 
 /// [`run`], additionally reporting the incremental-repair statistics
@@ -121,48 +124,84 @@ pub fn run_with_stats(
     family: &dyn ScenarioFamily,
     threads: usize,
 ) -> (StretchSamples, RepairStats) {
+    let parts = sweep_parts(graph, pr, family, threads);
+    let mut out = StretchSamples::default();
+    let mut stats = RepairStats::default();
+    for (part, part_stats) in parts {
+        out.absorb(part);
+        stats.merge(&part_stats);
+    }
+    (out, stats)
+}
+
+/// The engine-parallel sweep, returning one partial result per
+/// (scenario × destination) work unit in unit order. [`run_with_stats`]
+/// folds the units into one panel; [`run_rows`] folds them into
+/// per-scenario aggregates for sharded checkpointing.
+fn sweep_parts(
+    graph: &Graph,
+    pr: &PrNetwork,
+    family: &dyn ScenarioFamily,
+    threads: usize,
+) -> Vec<(StretchSamples, RepairStats)> {
     let base = AllPairs::compute_all_live(graph);
+    // Child index per destination tree, built once: lets every unit
+    // enumerate its affected sources (the subtrees below failed tree
+    // edges) in O(cone) instead of classifying all n nodes.
+    let children: Vec<TreeChildren> =
+        graph.nodes().map(|d| TreeChildren::build(graph, base.towards(d))).collect();
     let pr_agent = pr.agent(graph);
     let ttl = generous_ttl(graph);
 
     let sweep = ScenarioSweep::new(graph, family, &base, threads);
-    let parts: Vec<(StretchSamples, RepairStats)> = sweep.run_with(
+    sweep.run_with(
         || StretchWorker {
             fcp: FcpAgent::cached_with_base(graph, sweep.base()),
             fcp_scratch: WalkScratch::new(),
             pr_scratch: WalkScratch::new(),
             sp_scratch: SpScratch::new(),
-            live: SpTree::placeholder(),
+            cone: Vec::new(),
+            stack: Vec::new(),
         },
         // Scenario boundary: evict the FCP route memo (its keys are
         // subsets of the departing scenario's failures).
         |w, _| w.fcp.begin_scenario(),
         |w, unit| {
-            let StretchWorker { fcp, fcp_scratch, pr_scratch, sp_scratch, live } = w;
+            let StretchWorker { fcp, fcp_scratch, pr_scratch, sp_scratch, cone, stack } = w;
             let mut out = StretchSamples::default();
-            live.repair_refresh(unit.base_tree, graph, unit.failed, sp_scratch);
-            let live_tree = &*live;
+            // The affected sources, ascending — same set and order as
+            // filtering `graph.nodes()` through `path_crosses`. An
+            // empty cone means no base path towards `dst` crosses a
+            // failure and the unit contributes nothing.
+            unit.base_tree.affected_cone(
+                graph,
+                &children[unit.dst.index()],
+                unit.failed,
+                cone,
+                stack,
+            );
+            if cone.is_empty() {
+                return (out, RepairStats::default());
+            }
+            // Repair only the cone's distance labels: everything the
+            // samples below read (the destination is never in the
+            // cone — it is the tree root).
+            unit.base_tree.repair_cone_labels(graph, unit.failed, cone, sp_scratch);
             // The debug-build cross-check against the reconvergence
             // agent's own tables (see `run_serial`) is per scenario
             // there; here it would recompute per unit, so it lives in
             // the serial reference only.
-            for src in graph.nodes() {
-                if src == unit.dst {
-                    continue;
-                }
-                if !unit.base_tree.path_crosses(graph, src, unit.failed) {
-                    continue;
-                }
-                if !live_tree.reaches(src) {
+            for &src in cone.iter() {
+                debug_assert_ne!(src, unit.dst, "tree root cannot be below a tree edge");
+                let Some(reconv_cost) = sp_scratch.cone_cost(src) else {
                     out.disconnected_pairs += 1;
                     continue;
-                }
+                };
                 out.evaluated_pairs += 1;
                 let optimal = unit.base_tree.cost(src).expect("connected");
 
                 // Reconvergence: the survivor shortest path, by
                 // definition — no need to walk it.
-                let reconv_cost = live_tree.cost(src).expect("connected");
                 out.reconvergence.push(reconv_cost as f64 / optimal as f64);
 
                 // FCP: walk with incremental failure discovery.
@@ -185,15 +224,207 @@ pub fn run_with_stats(
             }
             (out, sp_scratch.take_stats())
         },
-    );
+    )
+}
 
-    let mut out = StretchSamples::default();
-    let mut stats = RepairStats::default();
-    for (part, part_stats) in parts {
-        out.absorb(part);
-        stats.merge(&part_stats);
+/// Per-scenario aggregate of the stretch sweep — the unit of sharded
+/// checkpointing (see [`crate::shards`]). A row carries everything the
+/// CSV/report artefacts need — integer CCDF counts at [`figure2_xs`],
+/// per-scheme sums and maxima — at O(1) size per scenario, so
+/// checkpoints of 1,000-node sweeps stay kilobytes where raw sample
+/// vectors would be hundreds of megabytes.
+///
+/// Determinism: a row is folded from its scenario's work units in unit
+/// order, entirely within one shard (shards split on scenario
+/// boundaries), so rows are invariant to thread *and* shard counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioRow {
+    /// Index of the scenario in the (unsliced) family.
+    pub scenario: u64,
+    /// Number of links the scenario fails.
+    pub failures: u64,
+    /// Affected-and-connected pairs evaluated.
+    pub evaluated_pairs: u64,
+    /// Affected pairs excluded because the scenario disconnected them.
+    pub disconnected_pairs: u64,
+    /// Deliveries that failed although a path existed.
+    pub undelivered: u64,
+    /// Sample count per scheme ([`Scheme::ALL`] order).
+    pub samples: [u64; 3],
+    /// Sum of stretch values per scheme, added in sample order.
+    pub sum: [f64; 3],
+    /// Maximum stretch per scheme (0 when the scheme has no samples).
+    pub max: [f64; 3],
+    /// CCDF counts, scheme-major: `above[s * xs + i]` is the number of
+    /// scheme-`s` samples strictly above `figure2_xs()[i]`.
+    pub above: Vec<u64>,
+}
+
+impl ScenarioRow {
+    /// Aggregates one scenario's samples at the CCDF thresholds `xs`.
+    fn from_samples(scenario: u64, failures: u64, s: &StretchSamples, xs: &[f64]) -> ScenarioRow {
+        let mut samples = [0u64; 3];
+        let mut sum = [0.0f64; 3];
+        let mut max = [0.0f64; 3];
+        let mut above = vec![0u64; 3 * xs.len()];
+        for (i, scheme) in Scheme::ALL.iter().enumerate() {
+            let v = s.of(*scheme);
+            samples[i] = v.len() as u64;
+            for &value in v {
+                sum[i] += value;
+                max[i] = max[i].max(value);
+            }
+            for (j, &x) in xs.iter().enumerate() {
+                above[i * xs.len() + j] = v.iter().filter(|&&s| s > x).count() as u64;
+            }
+        }
+        ScenarioRow {
+            scenario,
+            failures,
+            evaluated_pairs: s.evaluated_pairs as u64,
+            disconnected_pairs: s.disconnected_pairs as u64,
+            undelivered: s.undelivered as u64,
+            samples,
+            sum,
+            max,
+            above,
+        }
     }
-    (out, stats)
+}
+
+/// Runs the stretch sweep over `family` and folds it into one
+/// [`ScenarioRow`] per scenario, with row indices offset by
+/// `first_scenario` (pass a [`pr_scenarios::ScenarioSlice`] plus its
+/// start to sweep one shard of a larger family).
+pub fn run_rows(
+    graph: &Graph,
+    pr: &PrNetwork,
+    family: &dyn ScenarioFamily,
+    threads: usize,
+    first_scenario: usize,
+) -> Vec<ScenarioRow> {
+    let n = graph.node_count().max(1);
+    let xs = figure2_xs();
+    let parts = sweep_parts(graph, pr, family, threads);
+    let mut rows = Vec::with_capacity(family.len());
+    let mut acc = StretchSamples::default();
+    for (idx, (part, _stats)) in parts.into_iter().enumerate() {
+        acc.absorb(part);
+        if (idx + 1) % n == 0 {
+            let scenario = idx / n;
+            let failures = family.scenario(scenario).len() as u64;
+            let absolute = (first_scenario + scenario) as u64;
+            rows.push(ScenarioRow::from_samples(absolute, failures, &acc, &xs));
+            acc = StretchSamples::default();
+        }
+    }
+    rows
+}
+
+/// [`panel_csv`] reconstructed from per-scenario rows: byte-identical
+/// to the raw-sample rendering, because the CCDF numerators are exact
+/// integer sums over rows and the denominators are the exact totals.
+/// `xs` must be the thresholds the rows were aggregated at
+/// ([`figure2_xs`]).
+pub fn panel_csv_from_rows(rows: &[ScenarioRow], xs: &[f64]) -> String {
+    assert!(
+        rows.iter().all(|r| r.above.len() == 3 * xs.len()),
+        "rows were aggregated at a different threshold set"
+    );
+    let mut totals = [0u64; 3];
+    for row in rows {
+        for (total, &n) in totals.iter_mut().zip(&row.samples) {
+            *total += n;
+        }
+    }
+    let mut out = String::from("stretch,reconvergence,fcp,packet-recycling\n");
+    for (i, &x) in xs.iter().enumerate() {
+        let p = |s: usize| {
+            if totals[s] == 0 {
+                0.0
+            } else {
+                let above: u64 = rows.iter().map(|r| r.above[s * xs.len() + i]).sum();
+                above as f64 / totals[s] as f64
+            }
+        };
+        out.push_str(&format!("{},{:.6},{:.6},{:.6}\n", x, p(0), p(1), p(2)));
+    }
+    out
+}
+
+/// The merged result of a sharded sweep: totals, per-scheme means and
+/// maxima, and the CCDF curves — everything `pr sweep --format json`
+/// reports for a sharded run. Derived from rows in scenario order, so
+/// it is bit-identical at any thread or shard count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// Scenarios swept.
+    pub scenarios: u64,
+    /// Affected-and-connected pairs evaluated.
+    pub evaluated_pairs: u64,
+    /// Affected pairs excluded as disconnected.
+    pub disconnected_pairs: u64,
+    /// Deliveries that failed although a path existed.
+    pub undelivered: u64,
+    /// Sample count per scheme ([`Scheme::ALL`] order).
+    pub samples: [u64; 3],
+    /// Mean stretch per scheme (null when the scheme has no samples).
+    pub mean: [f64; 3],
+    /// Maximum stretch per scheme (null when the scheme has no
+    /// samples).
+    pub max: [f64; 3],
+    /// CCDF thresholds (the x axis of the paper's Figure 2).
+    pub xs: Vec<f64>,
+    /// `P(stretch > x)` per scheme at each threshold.
+    pub ccdf: [Vec<f64>; 3],
+}
+
+/// Folds merged rows (in scenario order) into a [`SweepReport`].
+pub fn report_from_rows(rows: &[ScenarioRow], xs: &[f64]) -> SweepReport {
+    assert!(
+        rows.iter().all(|r| r.above.len() == 3 * xs.len()),
+        "rows were aggregated at a different threshold set"
+    );
+    let mut report = SweepReport {
+        scenarios: rows.len() as u64,
+        evaluated_pairs: 0,
+        disconnected_pairs: 0,
+        undelivered: 0,
+        samples: [0; 3],
+        mean: [f64::NAN; 3],
+        max: [f64::NAN; 3],
+        xs: xs.to_vec(),
+        ccdf: [Vec::new(), Vec::new(), Vec::new()],
+    };
+    let mut sum = [0.0f64; 3];
+    for row in rows {
+        report.evaluated_pairs += row.evaluated_pairs;
+        report.disconnected_pairs += row.disconnected_pairs;
+        report.undelivered += row.undelivered;
+        #[allow(clippy::needless_range_loop)]
+        for s in 0..3 {
+            report.samples[s] += row.samples[s];
+            sum[s] += row.sum[s];
+        }
+    }
+    #[allow(clippy::needless_range_loop)]
+    for s in 0..3 {
+        if report.samples[s] > 0 {
+            report.mean[s] = sum[s] / report.samples[s] as f64;
+            report.max[s] = rows.iter().map(|r| r.max[s]).fold(0.0, f64::max);
+        }
+        report.ccdf[s] = (0..xs.len())
+            .map(|i| {
+                if report.samples[s] == 0 {
+                    0.0
+                } else {
+                    let above: u64 = rows.iter().map(|r| r.above[s * xs.len() + i]).sum();
+                    above as f64 / report.samples[s] as f64
+                }
+            })
+            .collect();
+    }
+    report
 }
 
 /// The serial reference implementation: the seed harness's nested loop
@@ -405,6 +636,67 @@ mod tests {
         assert_eq!(lines.len(), 3);
         assert_eq!(lines[0], "stretch,reconvergence,fcp,packet-recycling");
         assert!(lines[1].starts_with("1,"));
+    }
+
+    #[test]
+    fn rows_reproduce_the_raw_sample_panel_byte_for_byte() {
+        let g =
+            pr_topologies::load(pr_topologies::Isp::Abilene, pr_topologies::Weighting::Distance);
+        let pr = compile_pr(&g);
+        let family = pr_scenarios::SingleLinkFailures::new(&g);
+        let xs = figure2_xs();
+
+        let samples = run(&g, &pr, &family, 2);
+        let rows = run_rows(&g, &pr, &family, 2, 0);
+        assert_eq!(rows.len(), family.len());
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.scenario, i as u64);
+            assert_eq!(row.failures, 1);
+        }
+        // The CSV artefact reconstructed from rows is byte-identical to
+        // the raw-sample rendering (integer CCDF numerators, exact
+        // totals).
+        assert_eq!(panel_csv_from_rows(&rows, &xs), panel_csv(&samples, &xs));
+        // Totals line up with the folded panel.
+        let report = report_from_rows(&rows, &xs);
+        assert_eq!(report.evaluated_pairs, samples.evaluated_pairs as u64);
+        assert_eq!(report.samples[0], samples.reconvergence.len() as u64);
+        assert_eq!(report.undelivered, samples.undelivered as u64);
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!((report.mean[2] - mean(&samples.packet_recycling)).abs() < 1e-12);
+
+        // Rows survive the JSON checkpoint round-trip bit-for-bit
+        // (shortest-roundtrip f64 rendering).
+        let text = serde_json::to_string_pretty(&rows).unwrap();
+        let back: Vec<ScenarioRow> = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, rows);
+    }
+
+    #[test]
+    fn rows_offset_and_slice_like_shards_do() {
+        let g =
+            pr_topologies::load(pr_topologies::Isp::Abilene, pr_topologies::Weighting::Distance);
+        let pr = compile_pr(&g);
+        let family = pr_scenarios::SingleLinkFailures::new(&g);
+        let whole = run_rows(&g, &pr, &family, 1, 0);
+        // Sweeping two slices and concatenating gives the same rows.
+        let mid = family.len() / 2;
+        let left = pr_scenarios::ScenarioSlice::new(&family, 0, mid);
+        let right = pr_scenarios::ScenarioSlice::new(&family, mid, family.len() - mid);
+        let mut stitched = run_rows(&g, &pr, &left, 2, 0);
+        stitched.extend(run_rows(&g, &pr, &right, 2, mid));
+        assert_eq!(stitched, whole);
+    }
+
+    #[test]
+    fn report_of_empty_rows_is_well_formed() {
+        let xs = figure2_xs();
+        let report = report_from_rows(&[], &xs);
+        assert_eq!(report.scenarios, 0);
+        assert!(report.mean[0].is_nan());
+        assert!(report.ccdf[1].iter().all(|&p| p == 0.0));
+        let csv = panel_csv_from_rows(&[], &xs);
+        assert_eq!(csv.lines().count(), xs.len() + 1);
     }
 
     #[test]

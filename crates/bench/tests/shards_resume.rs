@@ -1,0 +1,186 @@
+//! The sharding contract: a sweep killed after k shards and resumed
+//! from its checkpoint merges to output **byte-identical** to a clean,
+//! uninterrupted run — at any shard count — on a shipped topology and
+//! on a synthetic ISP mesh.
+
+use std::path::PathBuf;
+
+use pr_bench::shards::{run_shards, shard_file, ShardKey, ShardOutcome};
+use pr_bench::stretch::{self, ScenarioRow};
+use pr_core::{DiscriminatorKind, PrMode, PrNetwork};
+use pr_embedding::CellularEmbedding;
+use pr_graph::{generators, Graph};
+use pr_scenarios::{ScenarioFamily, ScenarioSlice, SingleLinkFailures};
+use pr_topologies::{Isp, Weighting};
+
+fn compile_pr(graph: &Graph) -> PrNetwork {
+    let rot = pr_embedding::heuristics::thorough(graph, 2010, 4, 10_000);
+    let emb = CellularEmbedding::new(graph, rot).unwrap();
+    PrNetwork::compile(graph, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops)
+}
+
+/// A scratch checkpoint directory under the test-private tmp dir.
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("shards").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn key_for(graph: &Graph, family: &dyn ScenarioFamily, shards: u64) -> ShardKey {
+    ShardKey {
+        topology: graph.fingerprint(),
+        nodes: graph.node_count() as u64,
+        links: graph.link_count() as u64,
+        family: family.label(),
+        seed: 2010,
+        scenarios: family.len() as u64,
+        shards,
+    }
+}
+
+/// Kill-after-k-shards on one topology: every merged output (rows, CSV
+/// artefact, JSON report) must be byte-identical to the clean run's.
+fn kill_and_resume_is_byte_identical(graph: &Graph, name: &str) {
+    let pr = compile_pr(graph);
+    let family = SingleLinkFailures::new(graph);
+    let xs = stretch::figure2_xs();
+    let run_slice = |_shard: usize, start: usize, len: usize| {
+        let slice = ScenarioSlice::new(&family, start, len);
+        stretch::run_rows(graph, &pr, &slice, 2, start)
+    };
+
+    // The reference: a plain, unsharded sweep over raw samples.
+    let plain_csv = stretch::panel_csv(&stretch::run(graph, &pr, &family, 2), &xs);
+
+    // Clean sharded run.
+    let clean_dir = scratch_dir(&format!("{name}-clean"));
+    let key = key_for(graph, &family, 3);
+    let clean = match run_shards(&clean_dir, &key, false, None, run_slice).unwrap() {
+        ShardOutcome::Complete(rows) => rows,
+        partial => panic!("clean run stopped early: {partial:?}"),
+    };
+    assert_eq!(
+        stretch::panel_csv_from_rows(&clean, &xs),
+        plain_csv,
+        "sharded CSV must equal the plain unsharded artefact byte for byte"
+    );
+
+    // Killed after 1 of 3 shards, then resumed.
+    let dir = scratch_dir(&format!("{name}-killed"));
+    match run_shards(&dir, &key, false, Some(1), run_slice).unwrap() {
+        ShardOutcome::Partial { completed, total } => {
+            assert_eq!((completed, total), (1, 3));
+        }
+        done => panic!("expected a partial checkpoint, got {done:?}"),
+    }
+    assert!(shard_file(&dir, 0).is_file(), "the finished shard must be checkpointed");
+    assert!(!shard_file(&dir, 2).is_file(), "unreached shards must not exist");
+    let resumed = match run_shards(&dir, &key, true, None, run_slice).unwrap() {
+        ShardOutcome::Complete(rows) => rows,
+        partial => panic!("resume did not complete: {partial:?}"),
+    };
+    assert_eq!(resumed, clean, "resumed rows must equal the clean run's");
+    let report = |rows: &[ScenarioRow]| {
+        serde_json::to_string_pretty(&stretch::report_from_rows(rows, &xs)).unwrap()
+    };
+    assert_eq!(report(&resumed), report(&clean), "JSON report byte-identical");
+    assert_eq!(stretch::panel_csv_from_rows(&resumed, &xs), plain_csv);
+
+    // Resuming an already-complete checkpoint recomputes nothing and
+    // merges identically.
+    let again = match run_shards(&dir, &key, true, Some(0), run_slice).unwrap() {
+        ShardOutcome::Complete(rows) => rows,
+        partial => panic!("complete checkpoint reported {partial:?}"),
+    };
+    assert_eq!(again, clean);
+}
+
+#[test]
+fn abilene_kill_and_resume_is_byte_identical() {
+    let g = pr_topologies::load(Isp::Abilene, Weighting::Distance);
+    kill_and_resume_is_byte_identical(&g, "abilene");
+}
+
+#[test]
+fn synthetic_mesh_kill_and_resume_is_byte_identical() {
+    let g = generators::isp_mesh(&generators::MeshParams::new(24, 2010));
+    kill_and_resume_is_byte_identical(&g, "mesh24");
+}
+
+#[test]
+fn merged_rows_are_shard_count_invariant() {
+    let g = pr_topologies::load(Isp::Abilene, Weighting::Distance);
+    let pr = compile_pr(&g);
+    let family = SingleLinkFailures::new(&g);
+    let run_slice = |_shard: usize, start: usize, len: usize| {
+        let slice = ScenarioSlice::new(&family, start, len);
+        stretch::run_rows(&g, &pr, &slice, 2, start)
+    };
+    let mut merged: Vec<Vec<ScenarioRow>> = Vec::new();
+    for shards in [1u64, 4, 7] {
+        let dir = scratch_dir(&format!("abilene-{shards}shards"));
+        let key = key_for(&g, &family, shards);
+        match run_shards(&dir, &key, false, None, run_slice).unwrap() {
+            ShardOutcome::Complete(rows) => merged.push(rows),
+            partial => panic!("{partial:?}"),
+        }
+    }
+    assert_eq!(merged[0], merged[1], "1 vs 4 shards");
+    assert_eq!(merged[0], merged[2], "1 vs 7 shards");
+}
+
+#[test]
+fn resume_rejects_a_mismatched_checkpoint() {
+    let g = pr_topologies::load(Isp::Abilene, Weighting::Distance);
+    let pr = compile_pr(&g);
+    let family = SingleLinkFailures::new(&g);
+    let run_slice = |_shard: usize, start: usize, len: usize| {
+        let slice = ScenarioSlice::new(&family, start, len);
+        stretch::run_rows(&g, &pr, &slice, 1, start)
+    };
+    let dir = scratch_dir("abilene-mismatch");
+    let key = key_for(&g, &family, 3);
+    match run_shards(&dir, &key, false, Some(1), run_slice).unwrap() {
+        ShardOutcome::Partial { .. } => {}
+        done => panic!("{done:?}"),
+    }
+    // Same directory, different shard plan: refuse to mix.
+    let other = ShardKey { shards: 5, ..key.clone() };
+    let err = run_shards(&dir, &other, true, None, run_slice).unwrap_err();
+    assert!(err.contains("different sweep"), "{err}");
+    // …different topology: refuse too.
+    let other = ShardKey { topology: key.topology ^ 1, ..key.clone() };
+    let err = run_shards(&dir, &other, true, None, run_slice).unwrap_err();
+    assert!(err.contains("different sweep"), "{err}");
+    // Without resume the stale checkpoint is cleared, not mixed in.
+    let other = ShardKey { shards: 5, ..key };
+    match run_shards(&dir, &other, false, None, run_slice).unwrap() {
+        ShardOutcome::Complete(rows) => assert_eq!(rows.len(), family.len()),
+        partial => panic!("{partial:?}"),
+    }
+}
+
+#[test]
+fn resume_recovers_from_a_lost_shard_file() {
+    let g = pr_topologies::load(Isp::Abilene, Weighting::Distance);
+    let pr = compile_pr(&g);
+    let family = SingleLinkFailures::new(&g);
+    let run_slice = |_shard: usize, start: usize, len: usize| {
+        let slice = ScenarioSlice::new(&family, start, len);
+        stretch::run_rows(&g, &pr, &slice, 1, start)
+    };
+    let dir = scratch_dir("abilene-lostfile");
+    let key = key_for(&g, &family, 3);
+    let clean = match run_shards(&dir, &key, false, None, run_slice).unwrap() {
+        ShardOutcome::Complete(rows) => rows,
+        partial => panic!("{partial:?}"),
+    };
+    // A shard file vanishes (manifest still lists it): resume must
+    // recompute that shard, not fail or skip it.
+    std::fs::remove_file(shard_file(&dir, 1)).unwrap();
+    let recovered = match run_shards(&dir, &key, true, None, run_slice).unwrap() {
+        ShardOutcome::Complete(rows) => rows,
+        partial => panic!("{partial:?}"),
+    };
+    assert_eq!(recovered, clean);
+}

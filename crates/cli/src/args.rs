@@ -4,8 +4,8 @@
 use std::collections::BTreeMap;
 
 /// Boolean flags (options that take no value). Declared globally so
-/// `--stats` parses the same under every subcommand.
-const BOOLEAN_FLAGS: &[&str] = &["stats"];
+/// `--stats` / `--resume` parse the same under every subcommand.
+const BOOLEAN_FLAGS: &[&str] = &["stats", "resume"];
 
 /// Parsed command line: positionals in order, options by name.
 #[derive(Debug, Clone, Default)]
@@ -186,5 +186,8 @@ mod tests {
         assert!(a.flag("stats"));
         assert_eq!(a.option("threads"), Some("2"), "--stats must not swallow --threads");
         assert!(!args("geant").unwrap().flag("stats"));
+        let a = args("geant --resume --format csv").unwrap();
+        assert!(a.flag("resume"));
+        assert_eq!(a.option("format"), Some("csv"), "--resume must not swallow --format");
     }
 }

@@ -17,6 +17,7 @@ pr — Packet Re-cycling toolbox (HotNets-IX 2010 reproduction)
 
 USAGE:
     pr info    <topology>
+    pr gen     <family> --nodes N [--seed N] [--out file.topo]
     pr embed   <topology> [--seed N] [--restarts N] [--iterations N]
     pr tables  <topology> <node> [--seed N]
     pr walk    <topology> <src> <dst> [--fail A-B]... [--mode basic|dd] [--seed N]
@@ -24,6 +25,7 @@ USAGE:
     pr sweep   <topology> --family <single|multi|node|srlg|exhaustive|outage|flap>
                [--k N] [--samples N] [--radius KM] [--holddown-ms N]
                [--seed N] [--threads N] [--stats] [--format csv|json]
+               [--shards N] [--resume] [--max-shards N]
     pr traffic <topology> [--model gravity|uniform|hotspot] [--flows N]
                [--family <single|multi|node|srlg|exhaustive>] [--k N] [--samples N]
                [--radius KM] [--hotspots N] [--boost X]
@@ -43,11 +45,21 @@ TRAFFIC MODELS (pr traffic):
     uniform     unit demand on every ordered pair (weighted == unweighted)
     hotspot     seeded hot-PoP skew (--hotspots, --boost)
 
+SYNTHETIC FAMILIES (pr gen / synth: specs):
+    isp | mesh  jittered gridded-PoP mesh with seeded diagonals (planar, 2-edge-connected)
+    tier | hier two-tier core ring + regional trees with redundancy links
+
 Family-specific flags are rejected under any other family.
 --format csv|json writes machine-readable rows under results/.
+--shards N splits a topological sweep into checkpointable chunks under
+results/<sweep>/; --resume (requires --format) continues a killed run
+from its manifest, bit-identically; --max-shards N stops early after N
+fresh shards (checkpoint stays resumable).
 
 TOPOLOGY:
-    abilene | teleglobe | geant | figure1 | path/to/file.topo";
+    abilene | teleglobe | geant | figure1
+    | synth:<family>:<nodes>[:<seed>]    (e.g. synth:isp-1000, seed defaults to 2010)
+    | path/to/file.topo";
 
 type CmdResult = Result<(), Box<dyn std::error::Error>>;
 
@@ -73,6 +85,9 @@ fn load_topology(
             let (g, orders) = pr_topologies::figure1();
             let rot = RotationSystem::from_neighbor_orders(&g, &orders)?;
             Ok((g, Some(rot)))
+        }
+        synth if synth.starts_with("synth:") || synth.starts_with("synth-") => {
+            Ok((pr_graph::generators::synth_from_spec(&synth["synth:".len()..])?, None))
         }
         path => {
             let text = std::fs::read_to_string(path)
@@ -272,6 +287,41 @@ pub fn info(args: &Args) -> CmdResult {
     Ok(())
 }
 
+/// `pr gen <family> --nodes N [--seed N] [--out file.topo]`.
+///
+/// Generates a seeded synthetic topology (same generators the
+/// `synth:` specs use) and optionally writes it in the shipped
+/// `.topo` plain-text format, so generated graphs feed back into
+/// every command that takes a file path.
+pub fn gen(args: &Args) -> CmdResult {
+    args.reject_unknown(&["nodes", "seed", "out"])?;
+    let family = args.positional(0, "family")?;
+    let nodes = match args.option("nodes") {
+        Some(_) => args.option_or("nodes", 0usize)?,
+        None => {
+            return Err(format!(
+                "--nodes is required (e.g. pr gen {family} --nodes 200); families: {}",
+                pr_graph::generators::SYNTH_FAMILIES.join("|")
+            )
+            .into())
+        }
+    };
+    let seed: u64 = args.option_or("seed", 2010)?;
+    let graph = pr_graph::generators::synth_from_spec(&format!("{family}:{nodes}:{seed}"))?;
+    let none = LinkSet::empty(graph.link_count());
+    println!("family:            {family} (seed {seed})");
+    println!("nodes:             {}", graph.node_count());
+    println!("links:             {}", graph.link_count());
+    println!("2-edge-connected:  {}", algo::is_two_edge_connected(&graph, &none));
+    println!("fingerprint:       {:#018x}", graph.fingerprint());
+    if let Some(path) = args.option("out") {
+        std::fs::write(path, pr_graph::parser::write(&graph))
+            .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
 /// `pr embed <topology>`.
 pub fn embed(args: &Args) -> CmdResult {
     args.reject_unknown(&EMBED_OPTIONS)?;
@@ -414,6 +464,79 @@ pub fn stretch(args: &Args) -> CmdResult {
     Ok(())
 }
 
+/// The sharded, checkpointable variant of a topological `pr sweep`:
+/// splits the scenario range into `--shards` chunks (default 8),
+/// persists each finished chunk under `results/<stem>/`, and on
+/// completion merges the per-scenario rows into the CSV/JSON artefact
+/// — bit-identical at any thread or shard count, resumable after a
+/// kill with `--resume`.
+#[allow(clippy::too_many_arguments)]
+fn run_sharded_sweep(
+    graph: &Graph,
+    net: &PrNetwork,
+    family: &dyn ScenarioFamily,
+    threads: usize,
+    seed: u64,
+    stem: &str,
+    format: Option<OutputFormat>,
+    resume: bool,
+    args: &Args,
+) -> CmdResult {
+    use pr_bench::shards::{ShardKey, ShardOutcome};
+
+    let shards = args.option_or("shards", 8usize)?.clamp(1, family.len().max(1));
+    let stop_after = match args.option("max-shards") {
+        None => None,
+        Some(_) => Some(args.option_or("max-shards", 0usize)?),
+    };
+    let dir = pr_bench::results_dir().join(stem);
+    let key = ShardKey {
+        topology: graph.fingerprint(),
+        nodes: graph.node_count() as u64,
+        links: graph.link_count() as u64,
+        family: family.label(),
+        seed,
+        scenarios: family.len() as u64,
+        shards: shards as u64,
+    };
+    let outcome =
+        pr_bench::engine::run_shards(&dir, &key, resume, stop_after, |shard, start, len| {
+            println!("  shard {}/{shards}: scenarios [{start}..{})", shard + 1, start + len);
+            let slice = pr_scenarios::ScenarioSlice::new(family, start, len);
+            pr_bench::stretch::run_rows(graph, net, &slice, threads, start)
+        })?;
+    match outcome {
+        ShardOutcome::Partial { completed, total } => {
+            println!(
+                "checkpoint: {completed}/{total} shards complete under {}; \
+                 rerun with --resume to continue",
+                dir.display()
+            );
+        }
+        ShardOutcome::Complete(rows) => {
+            let xs = pr_bench::stretch::figure2_xs();
+            let report = pr_bench::stretch::report_from_rows(&rows, &xs);
+            println!(
+                "affected connected pairs: {}, disconnected (excluded): {}, undelivered: {}",
+                report.evaluated_pairs, report.disconnected_pairs, report.undelivered
+            );
+            println!(
+                "mean stretch:  reconvergence {:.3}  fcp {:.3}  packet-recycling {:.3}",
+                report.mean[0], report.mean[1], report.mean[2]
+            );
+            if let Some(format) = format {
+                emit(
+                    format,
+                    stem,
+                    || pr_bench::stretch::panel_csv_from_rows(&rows, &xs),
+                    || serde_json::to_string_pretty(&report).expect("serializable report"),
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
 /// `pr sweep <topology> --family <...>`.
 ///
 /// One front door to the scenario subsystem: picks a failure family
@@ -435,6 +558,9 @@ pub fn sweep(args: &Args) -> CmdResult {
         "restarts",
         "iterations",
         "stats",
+        "shards",
+        "resume",
+        "max-shards",
     ])?;
     let topo_spec = args.positional(0, "topology")?.to_string();
     let (graph, canonical) = load_topology(&topo_spec)?;
@@ -443,6 +569,29 @@ pub fn sweep(args: &Args) -> CmdResult {
     let format = parse_format(args)?;
     let threads = args.option_or("threads", pr_bench::engine::default_threads())?.max(1);
     let seed: u64 = args.option_or("seed", 2010)?;
+
+    // Sharded, checkpointable mode: any of the shard flags selects it.
+    let resume = args.flag("resume");
+    let sharded = resume || args.option("shards").is_some() || args.option("max-shards").is_some();
+    if resume && format.is_none() {
+        return Err("--resume requires --format csv|json \
+                    (resume merges persisted shards into an artefact)"
+            .into());
+    }
+    if sharded {
+        if matches!(family_name, "outage" | "flap") {
+            return Err(format!(
+                "--shards/--resume apply to topological sweeps only \
+                 (--family {family_name} is temporal)"
+            )
+            .into());
+        }
+        if args.flag("stats") {
+            return Err("--stats is not recorded in shard checkpoints; \
+                        run without --shards/--resume to collect repair statistics"
+                .into());
+        }
+    }
     let emb = resolve_embedding(&graph, canonical, args)?;
     println!("embedding genus {}", emb.genus());
     let net =
@@ -511,6 +660,19 @@ pub fn sweep(args: &Args) -> CmdResult {
                 family.len(),
                 threads
             );
+            if sharded {
+                return run_sharded_sweep(
+                    &graph,
+                    &net,
+                    family.as_ref(),
+                    threads,
+                    seed,
+                    &stem,
+                    format,
+                    resume,
+                    args,
+                );
+            }
             let (s, repair) =
                 pr_bench::stretch::run_with_stats(&graph, &net, family.as_ref(), threads);
             println!(
@@ -715,6 +877,42 @@ mod tests {
     }
 
     #[test]
+    fn load_synth_topology_specs() {
+        let (g, rot) = load_topology("synth:isp:20:7").unwrap();
+        assert_eq!(g.node_count(), 20);
+        assert!(rot.is_none());
+        // `-` works interchangeably with `:`; the seed defaults.
+        let (g2, _) = load_topology("synth-isp-20-7").unwrap();
+        assert_eq!(g.fingerprint(), g2.fingerprint(), "same spec, same bytes");
+        let (tier, _) = load_topology("synth:tier:16").unwrap();
+        assert_eq!(tier.node_count(), 16);
+        // Bad specs fail loudly, not as file-not-found noise.
+        let err = load_topology("synth:banana:20").unwrap_err().to_string();
+        assert!(err.contains("isp"), "family list in the error: {err}");
+        assert!(load_topology("synth:isp").is_err(), "missing node count");
+    }
+
+    #[test]
+    fn gen_writes_a_loadable_topo_file() {
+        let path = std::env::temp_dir().join(format!("pr-gen-test-{}.topo", std::process::id()));
+        let path_str = path.to_str().unwrap();
+        gen(&args(&format!("isp --nodes 20 --seed 7 --out {path_str}"))).unwrap();
+        let (roundtrip, _) = load_topology(path_str).unwrap();
+        let (direct, _) = load_topology("synth:isp:20:7").unwrap();
+        assert_eq!(
+            roundtrip.fingerprint(),
+            direct.fingerprint(),
+            "the .topo round-trip must preserve the generated graph bit for bit"
+        );
+        std::fs::remove_file(&path).unwrap();
+        // Without --out it just reports; missing --nodes is an error.
+        gen(&args("tier --nodes 12")).unwrap();
+        let err = gen(&args("isp")).unwrap_err().to_string();
+        assert!(err.contains("--nodes"), "{err}");
+        assert!(gen(&args("isp --nodes 20 --shards 2")).is_err(), "unknown option");
+    }
+
+    #[test]
     fn parse_failures_by_name() {
         let (g, _) = load_topology("figure1").unwrap();
         let a = args("figure1 --fail D-E --fail B-C");
@@ -839,6 +1037,61 @@ mod tests {
         assert!(err.contains("--boost") && err.contains("hotspot"), "{err}");
         assert!(traffic(&args("figure1 --model hotspot --hotspots 99")).is_err());
         assert!(traffic(&args("figure1 --model hotspot --boost -1")).is_err());
+    }
+
+    #[test]
+    fn sweep_and_traffic_accept_synth_specs() {
+        sweep(&args("synth:isp:12:7 --family single --threads 2")).unwrap();
+        // Synthetic meshes carry coordinates, so gravity and srlg work.
+        traffic(&args("synth:isp:12:7 --model gravity --family single")).unwrap();
+        sweep(&args("synth-tier-16 --family srlg --radius 400")).unwrap();
+    }
+
+    #[test]
+    fn sharded_sweep_resumes_to_the_plain_artefact() {
+        let results = pr_bench::results_dir();
+        let stem = "sweep_figure1_single_seed7";
+        let artefact = results.join(format!("{stem}.csv"));
+        let _ = std::fs::remove_file(&artefact);
+        let _ = std::fs::remove_dir_all(results.join(stem));
+
+        // The reference artefact from a plain, unsharded run.
+        sweep(&args("figure1 --family single --seed 7 --format csv")).unwrap();
+        let plain = std::fs::read_to_string(&artefact).unwrap();
+        std::fs::remove_file(&artefact).unwrap();
+
+        // Kill after 1 of 2 shards: checkpoint exists, artefact doesn't.
+        sweep(&args("figure1 --family single --seed 7 --shards 2 --max-shards 1 --format csv"))
+            .unwrap();
+        assert!(!artefact.is_file(), "a partial sweep must not emit the artefact");
+        assert!(results.join(stem).join("manifest.json").is_file());
+        assert!(results.join(stem).join("shard-000.json").is_file());
+
+        // Resume completes the sweep; the artefact is byte-identical to
+        // the plain run's.
+        sweep(&args("figure1 --family single --seed 7 --shards 2 --resume --format csv")).unwrap();
+        let resumed = std::fs::read_to_string(&artefact).unwrap();
+        assert_eq!(resumed, plain, "sharded resume must reproduce the plain artefact");
+    }
+
+    #[test]
+    fn sharded_sweep_rejects_bad_flag_combinations() {
+        // --resume without --format: nothing to merge into.
+        let err = sweep(&args("figure1 --family single --resume")).unwrap_err().to_string();
+        assert!(err.contains("--format"), "{err}");
+        // Temporal families cannot shard.
+        let err = sweep(&args("figure1 --family outage --shards 2 --format csv"))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("topological"), "{err}");
+        // --stats is not recorded in checkpoints.
+        let err = sweep(&args("figure1 --family single --shards 2 --stats --format csv"))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("--stats"), "{err}");
+        // The shard flags stay sweep-only.
+        assert!(traffic(&args("figure1 --model uniform --resume --format csv")).is_err());
+        assert!(traffic(&args("figure1 --model uniform --shards 2")).is_err());
     }
 
     #[test]

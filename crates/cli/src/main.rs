@@ -3,16 +3,19 @@
 //!
 //! ```text
 //! pr info    <topology>
+//! pr gen     <family> --nodes N [--seed N] [--out file.topo]
 //! pr embed   <topology> [--seed N] [--restarts N] [--iterations N]
 //! pr tables  <topology> <node> [--seed N]
 //! pr walk    <topology> <src> <dst> [--fail A-B]... [--mode basic|dd] [--seed N]
 //! pr stretch <topology> [--failures K] [--samples N] [--seed N]
 //! pr sweep   <topology> --family <single|multi|node|srlg|exhaustive|outage|flap> [--threads N]
+//!            [--shards N] [--resume] [--max-shards N]
 //! pr traffic <topology> [--model gravity|uniform|hotspot] [--flows N] [--family <...>]
 //! ```
 //!
-//! `<topology>` is `abilene`, `teleglobe`, `geant`, `figure1`, or a
-//! path to a `.topo` file in the `pr-graph` plain-text format.
+//! `<topology>` is `abilene`, `teleglobe`, `geant`, `figure1`, a
+//! seeded synthetic spec `synth:<family>:<nodes>[:<seed>]`, or a path
+//! to a `.topo` file in the `pr-graph` plain-text format.
 
 mod args;
 mod commands;
@@ -35,6 +38,7 @@ fn main() {
     };
     let result = match subcommand.as_str() {
         "info" => commands::info(&parsed),
+        "gen" => commands::gen(&parsed),
         "embed" => commands::embed(&parsed),
         "tables" => commands::tables(&parsed),
         "walk" => commands::walk(&parsed),

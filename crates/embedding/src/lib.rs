@@ -53,8 +53,10 @@ mod faces;
 pub mod heuristics;
 pub mod planar;
 mod rotation;
+mod scratch;
 
 pub use embedding::CellularEmbedding;
 pub use error::EmbeddingError;
 pub use faces::{genus, FaceId, FaceStructure};
 pub use rotation::RotationSystem;
+pub use scratch::FaceScratch;

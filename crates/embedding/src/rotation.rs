@@ -269,23 +269,69 @@ impl RotationSystem {
     /// `offset` is interpreted modulo the node degree: the dart is
     /// removed and re-inserted `offset` positions later (0 = unchanged).
     pub fn with_dart_moved(&self, graph: &Graph, dart: Dart, offset: usize) -> RotationSystem {
-        let node = graph.dart_tail(dart);
-        let mut order = self.order_at(graph, node);
-        let deg = order.len();
-        if deg <= 2 || offset.is_multiple_of(deg) {
-            return self.clone();
-        }
-        let pos = order.iter().position(|&d| d == dart).expect("dart in its node's order");
-        order.remove(pos);
-        let new_pos = (pos + offset) % (deg - 1);
-        order.insert(new_pos, dart);
         let mut clone = self.clone();
-        for (i, &d) in order.iter().enumerate() {
-            let succ = order[(i + 1) % deg];
-            clone.next[d.index()] = succ;
-            clone.prev[succ.index()] = d;
-        }
+        let (mut saved, mut scratch) = (Vec::new(), Vec::new());
+        clone.move_dart_in_place(graph, dart, offset, &mut saved, &mut scratch);
         clone
+    }
+
+    /// Applies the [`with_dart_moved`](RotationSystem::with_dart_moved)
+    /// move **in place**, recording the node's previous dart order into
+    /// `saved` so [`restore_order`](RotationSystem::restore_order) can
+    /// undo it in O(degree). Returns `false` (and saves nothing) when
+    /// the move is a no-op (degree ≤ 2, or `offset ≡ 0 mod degree`).
+    ///
+    /// This is the allocation-free core of the embedding search: a
+    /// candidate move is applied, scored incrementally (see
+    /// [`FaceScratch`](crate::FaceScratch)), and either kept or undone
+    /// — no clone of the full permutation either way.
+    pub fn move_dart_in_place(
+        &mut self,
+        graph: &Graph,
+        dart: Dart,
+        offset: usize,
+        saved: &mut Vec<Dart>,
+        scratch: &mut Vec<Dart>,
+    ) -> bool {
+        let node = graph.dart_tail(dart);
+        let deg = graph.degree(node);
+        if deg <= 2 || offset.is_multiple_of(deg) {
+            return false;
+        }
+        saved.clear();
+        let start = *graph.darts_from(node).iter().min().expect("node has darts");
+        let mut d = start;
+        loop {
+            saved.push(d);
+            d = self.next[d.index()];
+            if d == start {
+                break;
+            }
+        }
+        let pos = saved.iter().position(|&d| d == dart).expect("dart in its node's order");
+        scratch.clear();
+        scratch.extend_from_slice(saved);
+        scratch.remove(pos);
+        let new_pos = (pos + offset) % (deg - 1);
+        scratch.insert(new_pos, dart);
+        self.relink_cycle(scratch);
+        true
+    }
+
+    /// Re-links one node's cyclic order to exactly `order` (every dart
+    /// of that node, once, in the desired cycle). The undo half of
+    /// [`move_dart_in_place`](RotationSystem::move_dart_in_place):
+    /// pass back the `saved` buffer it filled.
+    pub fn restore_order(&mut self, order: &[Dart]) {
+        self.relink_cycle(order);
+    }
+
+    fn relink_cycle(&mut self, order: &[Dart]) {
+        for (i, &d) in order.iter().enumerate() {
+            let succ = order[(i + 1) % order.len()];
+            self.next[d.index()] = succ;
+            self.prev[succ.index()] = d;
+        }
     }
 }
 
@@ -428,6 +474,31 @@ mod tests {
         let rrot = RotationSystem::identity(&ring);
         let rd = ring.darts_from(NodeId(0))[0];
         assert_eq!(rrot, rrot.with_dart_moved(&ring, rd, 1));
+    }
+
+    #[test]
+    fn in_place_move_matches_clone_and_restores() {
+        let g = generators::complete(5, 1);
+        let rot = RotationSystem::identity(&g);
+        let (mut saved, mut scratch) = (Vec::new(), Vec::new());
+        for d in g.darts() {
+            for offset in 1..g.degree(g.dart_tail(d)) {
+                let cloned = rot.with_dart_moved(&g, d, offset);
+                let mut in_place = rot.clone();
+                let moved = in_place.move_dart_in_place(&g, d, offset, &mut saved, &mut scratch);
+                assert!(moved);
+                assert_eq!(in_place, cloned);
+                in_place.restore_order(&saved);
+                assert_eq!(in_place, rot, "restore must be an exact undo");
+            }
+        }
+        // No-op moves report false and leave the rotation untouched.
+        let ring = generators::ring(4, 1);
+        let mut rrot = RotationSystem::identity(&ring);
+        let before = rrot.clone();
+        let rd = ring.darts_from(NodeId(0))[0];
+        assert!(!rrot.move_dart_in_place(&ring, rd, 1, &mut saved, &mut scratch));
+        assert_eq!(rrot, before);
     }
 
     #[test]

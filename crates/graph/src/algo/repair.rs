@@ -142,6 +142,11 @@ pub struct SpScratch {
     /// One bit per dart; rebuilt only when `failed_key` changes.
     failed_darts: Vec<u64>,
     failed_key: LinkSet,
+    /// Repaired hop/parent labels of the cone-restricted selection
+    /// pass ([`SpTree::repair_cone_routes`]); valid where
+    /// `stamp == epoch`.
+    hops_patch: Vec<u32>,
+    next_patch: Vec<Dart>,
     stats: RepairStats,
 }
 
@@ -166,6 +171,8 @@ impl SpScratch {
             cone: Vec::new(),
             failed_darts: Vec::new(),
             failed_key: LinkSet::empty(0),
+            hops_patch: Vec::new(),
+            next_patch: Vec::new(),
             stats: RepairStats::default(),
         }
     }
@@ -181,6 +188,15 @@ impl SpScratch {
         std::mem::take(&mut self.stats)
     }
 
+    /// Repaired distance of `u` after the last
+    /// [`SpTree::repair_cone_labels`] call: `Some(dist)` if the cone
+    /// node reconnects under the failure, `None` if it is cut off.
+    /// Only meaningful for nodes of that call's cone.
+    #[inline]
+    pub fn cone_cost(&self, u: NodeId) -> Option<u64> {
+        (self.stamp[u.index()] == self.epoch).then(|| self.dist[u.index()])
+    }
+
     /// Sizes the node-indexed arrays for `n` nodes. New slots carry
     /// stamp/class 0, which no live epoch matches.
     fn ensure(&mut self, n: usize) {
@@ -188,6 +204,8 @@ impl SpScratch {
             self.dist.resize(n, 0);
             self.stamp.resize(n, 0);
             self.class.resize(n, 0);
+            self.hops_patch.resize(n, 0);
+            self.next_patch.resize(n, Dart(0));
         }
     }
 
@@ -377,6 +395,205 @@ impl SpTree {
     /// [`SpTree::repair_refresh`] in worker-local state.
     pub fn placeholder() -> SpTree {
         SpTree { dest: NodeId(0), dist: Vec::new(), hops: Vec::new(), next: Vec::new() }
+    }
+
+    /// Collects into `out` every source whose canonical tree path to
+    /// the destination crosses a failed link, in **ascending node id
+    /// order** — the same set (and iteration order) as filtering
+    /// `graph.nodes()` through [`SpTree::path_crosses`], but in
+    /// O(cone) instead of O(n).
+    ///
+    /// A path crosses a failed link iff some node on it routes over
+    /// that link, i.e. iff the source sits in the subtree hanging
+    /// below a failed **tree edge** — so the affected set is the union
+    /// of those subtrees, enumerated through the tree's precomputed
+    /// [`TreeChildren`] index. `stack` is a reusable DFS buffer.
+    pub fn affected_cone(
+        &self,
+        graph: &Graph,
+        children: &TreeChildren,
+        failed: &LinkSet,
+        out: &mut Vec<NodeId>,
+        stack: &mut Vec<NodeId>,
+    ) {
+        out.clear();
+        stack.clear();
+        for link in failed.iter() {
+            let (a, b) = graph.endpoints(link);
+            for u in [a, b] {
+                if self.next[u.index()].is_some_and(|d| d.link() == link) {
+                    stack.push(u);
+                }
+            }
+        }
+        while let Some(u) = stack.pop() {
+            out.push(u);
+            stack.extend_from_slice(children.of(u));
+        }
+        // Nested failed tree edges visit their inner subtree once per
+        // enclosing root; failure sets are small, so dedup after a
+        // sort (which the caller's iteration order needs anyway).
+        out.sort_unstable();
+        out.dedup();
+    }
+
+    /// Repairs **only the distance labels** of `cone` (the affected
+    /// sources of `self`, a base tree, under `failed` — see
+    /// [`SpTree::affected_cone`]), leaving results in `scratch` for
+    /// [`SpScratch::cone_cost`] queries.
+    ///
+    /// This is [`SpTree::repair_refresh`] for callers that never read
+    /// the repaired tree outside the cone and need no parent darts:
+    /// it skips the O(n) base-tree copy, the O(n) affected/clean
+    /// classification (the cone is given) and the canonical
+    /// parent-selection pass, leaving O(cone) work per call. The
+    /// labels it produces are bit-identical to the full repair's — the
+    /// same frontier-seeded Dijkstra runs over the same admitted set.
+    pub fn repair_cone_labels(
+        &self,
+        graph: &Graph,
+        failed: &LinkSet,
+        cone: &[NodeId],
+        scratch: &mut SpScratch,
+    ) {
+        scratch.ensure(graph.node_count());
+        scratch.refresh_failed_mask(graph, failed);
+        scratch.stats.repairs += 1;
+        scratch.stats.cone_nodes += cone.len() as u64;
+        scratch.stats.repaired_slots += cone.len() as u64;
+
+        scratch.next_class_epoch();
+        for &u in cone {
+            scratch.set_class(u, true);
+        }
+        scratch.next_epoch();
+        scratch.heap.clear();
+        scratch.order.clear();
+        // Seed from the intact frontier exactly as `repair_into` does:
+        // clean labels are already exact under `failed`.
+        for &u in cone {
+            for &dart in graph.darts_from(u) {
+                if scratch.dart_failed(dart) {
+                    continue;
+                }
+                let v = graph.dart_head(dart);
+                if scratch.class_affected(v) {
+                    continue;
+                }
+                let Some(dv) = self.dist[v.index()] else { continue };
+                scratch.relax(u, dv + u64::from(graph.weight(dart.link())));
+            }
+        }
+        scratch.drain_heap(graph, |s, v| s.class_affected(v));
+    }
+
+    /// [`SpTree::repair_cone_labels`] plus the canonical parent
+    /// selection, emitting `(node, next dart)` patches for every cone
+    /// node — `None` marking nodes the failure cuts off. Outside the
+    /// cone the repaired tree equals `self` (the base tree), so a
+    /// patch list plus the base answers any routing query the full
+    /// repaired tree could, at O(cone) cost per repair instead of
+    /// O(n).
+    ///
+    /// The selection pass is the one `repair_from` runs — same
+    /// finalisation order, same `(hops, parent id, dart id)`
+    /// tie-break, with clean neighbours' labels read from the base —
+    /// so patched decisions are bit-identical to the full repair's.
+    pub fn repair_cone_routes(
+        &self,
+        graph: &Graph,
+        failed: &LinkSet,
+        cone: &[NodeId],
+        scratch: &mut SpScratch,
+        out: &mut Vec<(NodeId, Option<Dart>)>,
+    ) {
+        self.repair_cone_labels(graph, failed, cone, scratch);
+        for i in 0..scratch.order.len() {
+            let u = scratch.order[i];
+            let du = scratch.dist[u.index()];
+            let mut best: Option<(u32, u32, u32, Dart)> = None;
+            for &dart in graph.darts_from(u) {
+                if scratch.dart_failed(dart) {
+                    continue;
+                }
+                let v = graph.dart_head(dart);
+                // A cone neighbour's labels live in the scratch (its
+                // parent settles first: dv < du keeps the pass
+                // well-founded); a clean neighbour keeps its base
+                // labels under `failed`.
+                let (dv, hv) = if scratch.class_affected(v) {
+                    if scratch.stamp[v.index()] != scratch.epoch {
+                        continue; // cut off: not a parent candidate
+                    }
+                    (scratch.dist[v.index()], scratch.hops_patch[v.index()])
+                } else {
+                    match (self.dist[v.index()], self.hops[v.index()]) {
+                        (Some(d), Some(h)) => (d, h),
+                        _ => continue,
+                    }
+                };
+                if dv + u64::from(graph.weight(dart.link())) != du {
+                    continue; // not on a shortest path
+                }
+                let key = (hv + 1, v.0, dart.0, dart);
+                if best.is_none_or(|b| (key.0, key.1, key.2) < (b.0, b.1, b.2)) {
+                    best = Some(key);
+                }
+            }
+            let (h, _, _, dart) = best.expect("reachable node must have a shortest-path parent");
+            scratch.hops_patch[u.index()] = h;
+            scratch.next_patch[u.index()] = dart;
+        }
+        out.clear();
+        out.extend(cone.iter().map(|&u| {
+            let next =
+                (scratch.stamp[u.index()] == scratch.epoch).then(|| scratch.next_patch[u.index()]);
+            (u, next)
+        }));
+    }
+}
+
+/// Children lists of one shortest-path tree in CSR form, built once so
+/// sweep workers can enumerate the subtree below a failed tree edge in
+/// O(subtree) (see [`SpTree::affected_cone`]) instead of classifying
+/// all `n` nodes per work unit.
+#[derive(Debug, Clone)]
+pub struct TreeChildren {
+    /// CSR offsets: node `u`'s children sit at `kids[start[u]..start[u + 1]]`.
+    start: Vec<u32>,
+    kids: Vec<NodeId>,
+}
+
+impl TreeChildren {
+    /// Builds the child index of `tree` by counting sort over parent
+    /// pointers. Children appear in ascending node id per parent.
+    pub fn build(graph: &Graph, tree: &SpTree) -> TreeChildren {
+        let n = graph.node_count();
+        let mut start = vec![0u32; n + 1];
+        for u in graph.nodes() {
+            if let Some(d) = tree.next[u.index()] {
+                start[graph.dart_head(d).index() + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            start[i + 1] += start[i];
+        }
+        let mut cursor = start.clone();
+        let mut kids = vec![NodeId(0); start[n] as usize];
+        for u in graph.nodes() {
+            if let Some(d) = tree.next[u.index()] {
+                let p = graph.dart_head(d).index();
+                kids[cursor[p] as usize] = u;
+                cursor[p] += 1;
+            }
+        }
+        TreeChildren { start, kids }
+    }
+
+    /// The children of `u` in the tree, ascending by node id.
+    #[inline]
+    pub fn of(&self, u: NodeId) -> &[NodeId] {
+        &self.kids[self.start[u.index()] as usize..self.start[u.index() + 1] as usize]
     }
 }
 
@@ -641,6 +858,77 @@ mod tests {
                 assert_eq!(repaired.towards(d), fresh.towards(d), "dest {d} failed {l}");
             }
         }
+    }
+
+    /// The cone fast path against its definitions: `affected_cone`
+    /// must equal filtering all nodes through `path_crosses`, and
+    /// `repair_cone_labels` must reproduce the full repair's distance
+    /// labels (including `None` for cut-off nodes) on every cone node.
+    #[test]
+    fn cone_enumeration_and_labels_match_the_full_repair() {
+        let mut g = generators::ring(9, 1);
+        g.add_link(NodeId(0), NodeId(4), 2).unwrap();
+        g.add_link(NodeId(2), NodeId(7), 1).unwrap();
+        let mut scratch = SpScratch::new();
+        let (mut cone, mut stack) = (Vec::new(), Vec::new());
+        for dest in g.nodes() {
+            let base = SpTree::towards_all_live(&g, dest);
+            let children = TreeChildren::build(&g, &base);
+            // Single failures plus a disconnecting pair.
+            let mut sets: Vec<LinkSet> = g.links().map(|l| single(&g, l)).collect();
+            sets.push(LinkSet::from_links(
+                g.link_count(),
+                [
+                    g.find_link(NodeId(1), NodeId(2)).unwrap(),
+                    g.find_link(NodeId(4), NodeId(5)).unwrap(),
+                ],
+            ));
+            for failed in &sets {
+                base.affected_cone(&g, &children, failed, &mut cone, &mut stack);
+                let expected: Vec<NodeId> =
+                    g.nodes().filter(|&u| base.path_crosses(&g, u, failed)).collect();
+                assert_eq!(cone, expected, "dest {dest}");
+                let mut patches = Vec::new();
+                base.repair_cone_routes(&g, failed, &cone, &mut scratch, &mut patches);
+                let full = SpTree::towards(&g, dest, failed);
+                for &u in &cone {
+                    assert_eq!(scratch.cone_cost(u), full.cost(u), "dest {dest} node {u}");
+                }
+                // The patches plus the base tree answer every routing
+                // query the full repaired tree answers.
+                assert_eq!(patches.len(), cone.len());
+                for u in g.nodes() {
+                    let patched = match patches.binary_search_by_key(&u, |p| p.0) {
+                        Ok(i) => patches[i].1,
+                        Err(_) => base.next_dart(u),
+                    };
+                    assert_eq!(patched, full.next_dart(u), "dest {dest} node {u}");
+                    let reaches = match patches.binary_search_by_key(&u, |p| p.0) {
+                        Ok(i) => patches[i].1.is_some(),
+                        Err(_) => base.reaches(u),
+                    };
+                    assert_eq!(reaches, full.reaches(u), "dest {dest} node {u}");
+                }
+            }
+        }
+    }
+
+    /// Children lists come out CSR-complete and id-ascending.
+    #[test]
+    fn tree_children_index_the_parent_pointers() {
+        let g = generators::complete(6, 1);
+        let base = SpTree::towards_all_live(&g, NodeId(3));
+        let children = TreeChildren::build(&g, &base);
+        let mut seen = 0;
+        for p in g.nodes() {
+            let kids = children.of(p);
+            assert!(kids.windows(2).all(|w| w[0] < w[1]), "ascending per parent");
+            for &c in kids {
+                assert_eq!(base.next_dart(c).map(|d| g.dart_head(d)), Some(p));
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, g.node_count() - 1, "every non-root appears exactly once");
     }
 
     #[test]

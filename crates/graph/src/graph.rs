@@ -322,6 +322,47 @@ impl Graph {
     pub fn summary(&self, label: &str) -> String {
         format!("{label}: {} nodes, {} links", self.node_count(), self.link_count())
     }
+
+    /// A stable structural fingerprint of the graph: FNV-1a over node
+    /// names, link endpoints, weights, and coordinates (as bit
+    /// patterns).
+    ///
+    /// Stable across runs, processes and platforms (unlike
+    /// `std::hash::RandomState`), so sweep checkpoints can record it in
+    /// a manifest and a resume can verify it is merging shards of the
+    /// *same* topology.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(&(self.node_count() as u64).to_le_bytes());
+        for node in self.nodes() {
+            eat(self.node_name(node).as_bytes());
+            eat(&[0]);
+            match self.coordinates(node) {
+                None => eat(&[0]),
+                Some(c) => {
+                    eat(&[1]);
+                    eat(&c.lon.to_bits().to_le_bytes());
+                    eat(&c.lat.to_bits().to_le_bytes());
+                }
+            }
+        }
+        eat(&(self.link_count() as u64).to_le_bytes());
+        for link in self.links() {
+            let (a, b) = self.endpoints(link);
+            eat(&a.0.to_le_bytes());
+            eat(&b.0.to_le_bytes());
+            eat(&self.weight(link).to_le_bytes());
+        }
+        h
+    }
 }
 
 #[cfg(test)]

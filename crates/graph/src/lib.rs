@@ -69,7 +69,9 @@ mod ids;
 mod linkset;
 pub mod parser;
 
-pub use algo::{stretch, AllPairs, Path, RepairStats, SpScratch, SpTree};
+pub use algo::{
+    stretch, AllPairs, CrossingScratch, Path, RepairStats, SpScratch, SpTree, TreeChildren,
+};
 pub use error::{GraphError, ParseError};
 pub use graph::{Coordinates, Graph};
 pub use ids::{Dart, LinkId, NodeId};

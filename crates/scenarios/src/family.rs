@@ -95,6 +95,57 @@ impl Iterator for ScenarioIter<'_> {
 
 impl ExactSizeIterator for ScenarioIter<'_> {}
 
+/// A contiguous index window `[start, start + len)` of another family,
+/// re-exposed as a family of its own.
+///
+/// This is the unit of sweep **sharding**: `engine::run_shards` splits
+/// a family's index range into slices, runs each slice as an ordinary
+/// sweep, and persists its result as one checkpoint. Slice index `i`
+/// maps to parent index `start + i`, so determinism and uniform
+/// capacity are inherited.
+pub struct ScenarioSlice<'a> {
+    parent: &'a dyn ScenarioFamily,
+    start: usize,
+    len: usize,
+}
+
+impl<'a> ScenarioSlice<'a> {
+    /// The window `[start, start + len)` of `parent`; must lie within
+    /// `parent.len()`.
+    pub fn new(parent: &'a dyn ScenarioFamily, start: usize, len: usize) -> ScenarioSlice<'a> {
+        assert!(
+            start.checked_add(len).is_some_and(|end| end <= parent.len()),
+            "slice [{start}, {start}+{len}) out of bounds for family of {}",
+            parent.len()
+        );
+        ScenarioSlice { parent, start, len }
+    }
+
+    /// First parent index covered by this slice.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+}
+
+impl ScenarioFamily for ScenarioSlice<'_> {
+    fn label(&self) -> String {
+        format!("{}[{}..{}]", self.parent.label(), self.start, self.start + self.len)
+    }
+
+    fn link_capacity(&self) -> usize {
+        self.parent.link_capacity()
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn scenario(&self, index: usize) -> LinkSet {
+        assert!(index < self.len, "scenario {index} out of bounds for slice of {}", self.len);
+        self.parent.scenario(self.start + index)
+    }
+}
+
 /// Adapter: an explicit scenario list is itself a (materialised)
 /// family, so ad-hoc hand-built lists and the streaming engine share
 /// one code path.
@@ -138,6 +189,32 @@ mod tests {
         let dyn_family: &dyn ScenarioFamily = &sets;
         let streamed: Vec<LinkSet> = ScenarioIter::new(dyn_family).collect();
         assert_eq!(streamed, sets);
+    }
+
+    #[test]
+    fn slices_window_their_parent() {
+        let sets = vec![
+            LinkSet::from_links(4, [LinkId(0)]),
+            LinkSet::from_links(4, [LinkId(1)]),
+            LinkSet::from_links(4, [LinkId(2)]),
+            LinkSet::from_links(4, [LinkId(3)]),
+        ];
+        let slice = ScenarioSlice::new(&sets, 1, 2);
+        assert_eq!(slice.len(), 2);
+        assert_eq!(slice.start(), 1);
+        assert_eq!(slice.link_capacity(), 4);
+        assert_eq!(slice.scenario(0), sets[1]);
+        assert_eq!(slice.scenario(1), sets[2]);
+        assert!(slice.label().contains("[1..3]"));
+        // Empty slices are fine, including at the very end.
+        assert!(ScenarioSlice::new(&sets, 4, 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_rejects_overrun() {
+        let sets = vec![LinkSet::from_links(2, [LinkId(0)])];
+        let _ = ScenarioSlice::new(&sets, 1, 1);
     }
 
     #[test]

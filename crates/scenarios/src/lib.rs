@@ -45,7 +45,7 @@ pub use families::{
     random_connected_failures, ExhaustiveKFailures, FailureDraw, NodeFailures,
     SampledMultiFailures, SingleLinkFailures, SrlgFailures,
 };
-pub use family::{ScenarioFamily, ScenarioIter};
+pub use family::{ScenarioFamily, ScenarioIter, ScenarioSlice};
 pub use temporal::{
     scenario_seed, DetectionDelaySweep, FlapSweep, FlowSpec, LinkEvent, OutageParams, OutageSweep,
     TemporalFamily, TemporalScenario,
