@@ -12,8 +12,8 @@ use rand::SeedableRng;
 use serde::Serialize;
 
 use pr_core::{
-    generous_ttl, walk_packet_with, DiscriminatorKind, PrHeader, PrMode, PrNetwork, WalkResult,
-    WalkScratch,
+    generous_ttl, walk_packet_spliced, DiscriminatorKind, PrHeader, PrMode, PrNetwork, SuffixMemo,
+    WalkResult, WalkScratch,
 };
 use pr_embedding::{genus, CellularEmbedding, FaceStructure, RotationSystem};
 use pr_graph::{AllPairs, Graph, LinkSet, SpScratch, SpTree};
@@ -104,10 +104,18 @@ fn pr_dd_sweep(
     let agent = net.agent(graph);
     let ttl = generous_ttl(graph);
     let sweep = ScenarioSweep::new(graph, scenarios, base, threads);
-    let worker = || (WalkScratch::<PrHeader>::new(), SpScratch::new(), SpTree::placeholder());
-    let parts: Vec<PrDdPartial> = sweep.run(worker, |(scratch, sp_scratch, live), unit| {
+    let worker = || {
+        (
+            WalkScratch::<PrHeader>::new(),
+            SuffixMemo::<PrHeader>::new(),
+            SpScratch::new(),
+            SpTree::placeholder(),
+        )
+    };
+    let parts: Vec<PrDdPartial> = sweep.run(worker, |(scratch, memo, sp_scratch, live), unit| {
         live.repair_refresh(unit.base_tree, graph, unit.failed, sp_scratch);
         let live_tree = &*live;
+        memo.begin_unit();
         let mut out = PrDdPartial::default();
         for src in graph.nodes() {
             if src == unit.dst {
@@ -120,10 +128,11 @@ fn pr_dd_sweep(
                 continue;
             }
             out.evaluated += 1;
-            let w = walk_packet_with(graph, &agent, src, unit.dst, unit.failed, ttl, scratch);
+            let w =
+                walk_packet_spliced(graph, &agent, src, unit.dst, unit.failed, ttl, scratch, memo);
             if let WalkResult::Delivered = w.result {
                 out.delivered += 1;
-                out.stretches.push(w.cost(graph) as f64 / unit.base_tree.cost(src).unwrap() as f64);
+                out.stretches.push(w.cost as f64 / unit.base_tree.cost(src).unwrap() as f64);
             }
         }
         out
@@ -271,24 +280,41 @@ pub fn genus_delivery(
             })
             .collect();
         let sweep = ScenarioSweep::new(graph, &scenarios, &base, threads);
-        let worker = || (WalkScratch::<PrHeader>::new(), SpScratch::new(), SpTree::placeholder());
-        let parts: Vec<(u64, u64)> = sweep.run(worker, |(scratch, sp_scratch, live), unit| {
-            live.repair_refresh(unit.base_tree, graph, unit.failed, sp_scratch);
-            let live_tree = &*live;
-            let (mut evaluated, mut delivered) = (0u64, 0u64);
-            for src in graph.nodes() {
-                if src == unit.dst || !live_tree.reaches(src) {
-                    continue;
+        let worker = || {
+            (
+                WalkScratch::<PrHeader>::new(),
+                SuffixMemo::<PrHeader>::new(),
+                SpScratch::new(),
+                SpTree::placeholder(),
+            )
+        };
+        let parts: Vec<(u64, u64)> =
+            sweep.run(worker, |(scratch, memo, sp_scratch, live), unit| {
+                live.repair_refresh(unit.base_tree, graph, unit.failed, sp_scratch);
+                let live_tree = &*live;
+                memo.begin_unit();
+                let (mut evaluated, mut delivered) = (0u64, 0u64);
+                for src in graph.nodes() {
+                    if src == unit.dst || !live_tree.reaches(src) {
+                        continue;
+                    }
+                    evaluated += 1;
+                    let walk = walk_packet_spliced(
+                        graph,
+                        &agent,
+                        src,
+                        unit.dst,
+                        unit.failed,
+                        ttl,
+                        scratch,
+                        memo,
+                    );
+                    if walk.result.is_delivered() {
+                        delivered += 1;
+                    }
                 }
-                evaluated += 1;
-                let walk =
-                    walk_packet_with(graph, &agent, src, unit.dst, unit.failed, ttl, scratch);
-                if walk.result.is_delivered() {
-                    delivered += 1;
-                }
-            }
-            (evaluated, delivered)
-        });
+                (evaluated, delivered)
+            });
         for (evaluated, delivered) in parts {
             row.evaluated += evaluated;
             row.delivered += delivered;

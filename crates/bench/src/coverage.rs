@@ -12,8 +12,8 @@ use serde::Serialize;
 
 use pr_baselines::{FcpAgent, LfaAgent, NotViaAgent};
 use pr_core::{
-    generous_ttl, walk_packet, walk_packet_with, DiscriminatorKind, PrMode, PrNetwork, WalkResult,
-    WalkScratch,
+    generous_ttl, walk_packet, walk_packet_spliced, DiscriminatorKind, PrMode, PrNetwork,
+    SuffixMemo, WalkResult, WalkScratch,
 };
 use pr_embedding::CellularEmbedding;
 use pr_graph::{AllPairs, Graph, SpScratch, SpTree};
@@ -122,6 +122,14 @@ struct WorkerState<'a> {
     fcp_scratch: WalkScratch<pr_baselines::FcpState>,
     unit_scratch: WalkScratch<()>,
     notvia_scratch: WalkScratch<pr_baselines::NotViaState>,
+    // One delivered-suffix memo per scheme, evicted at unit
+    // boundaries. Basic and DD share a scratch (same header type) but
+    // must not share a memo: their trajectories differ.
+    basic_memo: SuffixMemo<pr_core::PrHeader>,
+    dd_memo: SuffixMemo<pr_core::PrHeader>,
+    fcp_memo: SuffixMemo<pr_baselines::FcpState>,
+    lfa_memo: SuffixMemo<()>,
+    notvia_memo: SuffixMemo<pr_baselines::NotViaState>,
     sp_scratch: SpScratch,
     live: SpTree,
 }
@@ -153,6 +161,11 @@ pub fn run(
                 fcp_scratch: WalkScratch::new(),
                 unit_scratch: WalkScratch::new(),
                 notvia_scratch: WalkScratch::new(),
+                basic_memo: SuffixMemo::new(),
+                dd_memo: SuffixMemo::new(),
+                fcp_memo: SuffixMemo::new(),
+                lfa_memo: SuffixMemo::new(),
+                notvia_memo: SuffixMemo::new(),
                 sp_scratch: SpScratch::new(),
                 live: SpTree::placeholder(),
             },
@@ -163,6 +176,11 @@ pub fn run(
             |w, unit| {
                 w.live.repair_refresh(unit.base_tree, graph, unit.failed, &mut w.sp_scratch);
                 let live_tree = &w.live;
+                w.basic_memo.begin_unit();
+                w.dd_memo.begin_unit();
+                w.fcp_memo.begin_unit();
+                w.lfa_memo.begin_unit();
+                w.notvia_memo.begin_unit();
                 let mut cells: UnitCells = Default::default();
                 for src in graph.nodes() {
                     if src == unit.dst {
@@ -178,7 +196,7 @@ pub fn run(
                     let failed = unit.failed;
                     let dst = unit.dst;
                     let walks = [
-                        walk_packet_with(
+                        walk_packet_spliced(
                             graph,
                             &basic_agent,
                             src,
@@ -186,9 +204,10 @@ pub fn run(
                             failed,
                             ttl,
                             &mut w.pr_scratch,
+                            &mut w.basic_memo,
                         )
                         .result,
-                        walk_packet_with(
+                        walk_packet_spliced(
                             graph,
                             &dd_agent,
                             src,
@@ -196,11 +215,21 @@ pub fn run(
                             failed,
                             ttl,
                             &mut w.pr_scratch,
+                            &mut w.dd_memo,
                         )
                         .result,
-                        walk_packet_with(graph, &w.fcp, src, dst, failed, ttl, &mut w.fcp_scratch)
-                            .result,
-                        walk_packet_with(
+                        walk_packet_spliced(
+                            graph,
+                            &w.fcp,
+                            src,
+                            dst,
+                            failed,
+                            ttl,
+                            &mut w.fcp_scratch,
+                            &mut w.fcp_memo,
+                        )
+                        .result,
+                        walk_packet_spliced(
                             graph,
                             &compiled.lfa,
                             src,
@@ -208,9 +237,10 @@ pub fn run(
                             failed,
                             ttl,
                             &mut w.unit_scratch,
+                            &mut w.lfa_memo,
                         )
                         .result,
-                        walk_packet_with(
+                        walk_packet_spliced(
                             graph,
                             &compiled.notvia,
                             src,
@@ -218,6 +248,7 @@ pub fn run(
                             failed,
                             ttl,
                             &mut w.notvia_scratch,
+                            &mut w.notvia_memo,
                         )
                         .result,
                     ];

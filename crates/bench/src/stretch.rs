@@ -15,7 +15,10 @@
 use serde::{Deserialize, Serialize};
 
 use pr_baselines::FcpAgent;
-use pr_core::{generous_ttl, walk_packet, walk_packet_with, PrNetwork, WalkResult, WalkScratch};
+use pr_core::{
+    generous_ttl, walk_packet, walk_packet_spliced, walk_packet_with, MemoStats, PrNetwork,
+    SuffixMemo, WalkResult, WalkScratch,
+};
 use pr_graph::{AllPairs, Graph, NodeId, RepairStats, SpScratch, SpTree, TreeChildren};
 use pr_scenarios::{ScenarioFamily, ScenarioIter};
 
@@ -62,7 +65,13 @@ pub struct StretchSamples {
     pub evaluated_pairs: usize,
     /// Deliveries that failed although a path existed (should be zero
     /// for all three schemes on genus-0 embeddings; reported honestly).
+    /// Always `undelivered_fcp + undelivered_pr` — reconvergence is a
+    /// shortest-path computation and cannot fail on a connected pair.
     pub undelivered: usize,
+    /// FCP walks that failed to deliver although a path existed.
+    pub undelivered_fcp: usize,
+    /// PR walks that failed to deliver although a path existed.
+    pub undelivered_pr: usize,
 }
 
 impl StretchSamples {
@@ -84,6 +93,18 @@ impl StretchSamples {
         self.disconnected_pairs += part.disconnected_pairs;
         self.evaluated_pairs += part.evaluated_pairs;
         self.undelivered += part.undelivered;
+        self.undelivered_fcp += part.undelivered_fcp;
+        self.undelivered_pr += part.undelivered_pr;
+    }
+
+    fn drop_fcp(&mut self) {
+        self.undelivered += 1;
+        self.undelivered_fcp += 1;
+    }
+
+    fn drop_pr(&mut self) {
+        self.undelivered += 1;
+        self.undelivered_pr += 1;
     }
 }
 
@@ -107,26 +128,50 @@ struct StretchWorker<'a> {
     fcp_scratch: WalkScratch<pr_baselines::FcpState>,
     pr_scratch: WalkScratch<pr_core::PrHeader>,
     sp_scratch: SpScratch,
+    /// Delivered-suffix memos (FCP, PR), evicted at every unit
+    /// boundary and reused across units like `sp_scratch`. `None`
+    /// walks every source in full — the unmemoized reference path.
+    memos: Option<(SuffixMemo<pr_baselines::FcpState>, SuffixMemo<pr_core::PrHeader>)>,
     /// Affected-source buffer of the current unit, ascending node id.
     cone: Vec<NodeId>,
     /// DFS stack for the cone enumeration.
     stack: Vec<NodeId>,
 }
 
-/// [`run`], additionally reporting the incremental-repair statistics
-/// of the sweep's live-tree rebuilds (summed over work units in unit
-/// order, so the totals are thread-count invariant). This is what
-/// `pr sweep --stats` prints: the cone fraction is the share of
-/// per-destination labels a scenario actually forced us to recompute.
+/// Auxiliary statistics of one stretch sweep: live-tree incremental
+/// repair counters plus walk-memo counters (FCP and PR memos summed),
+/// merged over work units in unit order so totals are thread-count
+/// invariant. This is what `pr sweep --stats` prints.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SweepStats {
+    /// Shortest-path-tree repair counters.
+    pub repair: RepairStats,
+    /// Suffix-memo counters of the walk engine.
+    pub memo: MemoStats,
+}
+
+impl SweepStats {
+    /// Accumulates another stats record.
+    pub fn merge(&mut self, other: &SweepStats) {
+        self.repair.merge(&other.repair);
+        self.memo.merge(&other.memo);
+    }
+}
+
+/// [`run`], additionally reporting the sweep's auxiliary statistics
+/// ([`SweepStats`]): the repair cone fraction is the share of
+/// per-destination labels a scenario actually forced us to recompute,
+/// and the memo hit rate / spliced share say how much walking the
+/// suffix memo answered from cache.
 pub fn run_with_stats(
     graph: &Graph,
     pr: &PrNetwork,
     family: &dyn ScenarioFamily,
     threads: usize,
-) -> (StretchSamples, RepairStats) {
-    let parts = sweep_parts(graph, pr, family, threads);
+) -> (StretchSamples, SweepStats) {
+    let parts = sweep_parts(graph, pr, family, threads, true);
     let mut out = StretchSamples::default();
-    let mut stats = RepairStats::default();
+    let mut stats = SweepStats::default();
     for (part, part_stats) in parts {
         out.absorb(part);
         stats.merge(&part_stats);
@@ -137,13 +182,16 @@ pub fn run_with_stats(
 /// The engine-parallel sweep, returning one partial result per
 /// (scenario × destination) work unit in unit order. [`run_with_stats`]
 /// folds the units into one panel; [`run_rows`] folds them into
-/// per-scenario aggregates for sharded checkpointing.
+/// per-scenario aggregates for sharded checkpointing. `memoized`
+/// toggles suffix splicing; both settings produce bit-identical
+/// samples (enforced by `tests/determinism.rs` and the memo proptest).
 fn sweep_parts(
     graph: &Graph,
     pr: &PrNetwork,
     family: &dyn ScenarioFamily,
     threads: usize,
-) -> Vec<(StretchSamples, RepairStats)> {
+    memoized: bool,
+) -> Vec<(StretchSamples, SweepStats)> {
     let base = AllPairs::compute_all_live(graph);
     // Child index per destination tree, built once: lets every unit
     // enumerate its affected sources (the subtrees below failed tree
@@ -160,6 +208,7 @@ fn sweep_parts(
             fcp_scratch: WalkScratch::new(),
             pr_scratch: WalkScratch::new(),
             sp_scratch: SpScratch::new(),
+            memos: memoized.then(|| (SuffixMemo::new(), SuffixMemo::new())),
             cone: Vec::new(),
             stack: Vec::new(),
         },
@@ -167,7 +216,7 @@ fn sweep_parts(
         // subsets of the departing scenario's failures).
         |w, _| w.fcp.begin_scenario(),
         |w, unit| {
-            let StretchWorker { fcp, fcp_scratch, pr_scratch, sp_scratch, cone, stack } = w;
+            let StretchWorker { fcp, fcp_scratch, pr_scratch, sp_scratch, memos, cone, stack } = w;
             let mut out = StretchSamples::default();
             // The affected sources, ascending — same set and order as
             // filtering `graph.nodes()` through `path_crosses`. An
@@ -181,7 +230,7 @@ fn sweep_parts(
                 stack,
             );
             if cone.is_empty() {
-                return (out, RepairStats::default());
+                return (out, SweepStats::default());
             }
             // Repair only the cone's distance labels: everything the
             // samples below read (the destination is never in the
@@ -191,6 +240,65 @@ fn sweep_parts(
             // agent's own tables (see `run_serial`) is per scenario
             // there; here it would recompute per unit, so it lives in
             // the serial reference only.
+            if let Some((fcp_memo, pr_memo)) = memos {
+                // Memoized path: suffixes are unit-scoped, so evict
+                // before the first walk of this (failed, dst) unit.
+                fcp_memo.begin_unit();
+                pr_memo.begin_unit();
+                for &src in cone.iter() {
+                    debug_assert_ne!(src, unit.dst, "tree root cannot be below a tree edge");
+                    let Some(reconv_cost) = sp_scratch.cone_cost(src) else {
+                        out.disconnected_pairs += 1;
+                        continue;
+                    };
+                    out.evaluated_pairs += 1;
+                    let optimal = unit.base_tree.cost(src).expect("connected");
+
+                    // Reconvergence: the survivor shortest path, by
+                    // definition — no need to walk it.
+                    out.reconvergence.push(reconv_cost as f64 / optimal as f64);
+
+                    // FCP: walk with incremental failure discovery.
+                    let w = walk_packet_spliced(
+                        graph,
+                        fcp,
+                        src,
+                        unit.dst,
+                        unit.failed,
+                        ttl,
+                        fcp_scratch,
+                        fcp_memo,
+                    );
+                    if w.result.is_delivered() {
+                        out.fcp.push(w.cost as f64 / optimal as f64);
+                    } else {
+                        out.drop_fcp();
+                    }
+
+                    // PR: cycle following.
+                    let w = walk_packet_spliced(
+                        graph,
+                        &pr_agent,
+                        src,
+                        unit.dst,
+                        unit.failed,
+                        ttl,
+                        pr_scratch,
+                        pr_memo,
+                    );
+                    match w.result {
+                        WalkResult::Delivered => {
+                            out.packet_recycling.push(w.cost as f64 / optimal as f64)
+                        }
+                        WalkResult::Dropped(_) => out.drop_pr(),
+                    }
+                }
+                let mut memo_stats = fcp_memo.take_stats();
+                memo_stats.merge(&pr_memo.take_stats());
+                return (out, SweepStats { repair: sp_scratch.take_stats(), memo: memo_stats });
+            }
+            // Plain path: identical walks without splicing — the
+            // reference the determinism tests compare against.
             for &src in cone.iter() {
                 debug_assert_ne!(src, unit.dst, "tree root cannot be below a tree edge");
                 let Some(reconv_cost) = sp_scratch.cone_cost(src) else {
@@ -200,29 +308,25 @@ fn sweep_parts(
                 out.evaluated_pairs += 1;
                 let optimal = unit.base_tree.cost(src).expect("connected");
 
-                // Reconvergence: the survivor shortest path, by
-                // definition — no need to walk it.
                 out.reconvergence.push(reconv_cost as f64 / optimal as f64);
 
-                // FCP: walk with incremental failure discovery.
                 match walk_packet_with(graph, fcp, src, unit.dst, unit.failed, ttl, fcp_scratch) {
                     w if w.result.is_delivered() => {
                         out.fcp.push(w.cost(graph) as f64 / optimal as f64)
                     }
-                    _ => out.undelivered += 1,
+                    _ => out.drop_fcp(),
                 }
 
-                // PR: cycle following.
                 let w =
                     walk_packet_with(graph, &pr_agent, src, unit.dst, unit.failed, ttl, pr_scratch);
                 match w.result {
                     WalkResult::Delivered => {
                         out.packet_recycling.push(w.cost(graph) as f64 / optimal as f64)
                     }
-                    WalkResult::Dropped(_) => out.undelivered += 1,
+                    WalkResult::Dropped(_) => out.drop_pr(),
                 }
             }
-            (out, sp_scratch.take_stats())
+            (out, SweepStats { repair: sp_scratch.take_stats(), memo: MemoStats::default() })
         },
     )
 }
@@ -247,8 +351,12 @@ pub struct ScenarioRow {
     pub evaluated_pairs: u64,
     /// Affected pairs excluded because the scenario disconnected them.
     pub disconnected_pairs: u64,
-    /// Deliveries that failed although a path existed.
+    /// Deliveries that failed although a path existed (FCP + PR).
     pub undelivered: u64,
+    /// FCP walks that failed to deliver although a path existed.
+    pub undelivered_fcp: u64,
+    /// PR walks that failed to deliver although a path existed.
+    pub undelivered_pr: u64,
     /// Sample count per scheme ([`Scheme::ALL`] order).
     pub samples: [u64; 3],
     /// Sum of stretch values per scheme, added in sample order.
@@ -284,6 +392,8 @@ impl ScenarioRow {
             evaluated_pairs: s.evaluated_pairs as u64,
             disconnected_pairs: s.disconnected_pairs as u64,
             undelivered: s.undelivered as u64,
+            undelivered_fcp: s.undelivered_fcp as u64,
+            undelivered_pr: s.undelivered_pr as u64,
             samples,
             sum,
             max,
@@ -303,9 +413,34 @@ pub fn run_rows(
     threads: usize,
     first_scenario: usize,
 ) -> Vec<ScenarioRow> {
+    run_rows_memoized(graph, pr, family, threads, first_scenario, true)
+}
+
+/// [`run_rows`] with suffix memoization disabled: every source is
+/// walked in full. This is the reference the determinism tests (and
+/// the recorded isp-1000 before/after numbers) compare the memoized
+/// sweep against — the rows must be bit-identical.
+pub fn run_rows_plain(
+    graph: &Graph,
+    pr: &PrNetwork,
+    family: &dyn ScenarioFamily,
+    threads: usize,
+    first_scenario: usize,
+) -> Vec<ScenarioRow> {
+    run_rows_memoized(graph, pr, family, threads, first_scenario, false)
+}
+
+fn run_rows_memoized(
+    graph: &Graph,
+    pr: &PrNetwork,
+    family: &dyn ScenarioFamily,
+    threads: usize,
+    first_scenario: usize,
+    memoized: bool,
+) -> Vec<ScenarioRow> {
     let n = graph.node_count().max(1);
     let xs = figure2_xs();
-    let parts = sweep_parts(graph, pr, family, threads);
+    let parts = sweep_parts(graph, pr, family, threads, memoized);
     let mut rows = Vec::with_capacity(family.len());
     let mut acc = StretchSamples::default();
     for (idx, (part, _stats)) in parts.into_iter().enumerate() {
@@ -364,8 +499,12 @@ pub struct SweepReport {
     pub evaluated_pairs: u64,
     /// Affected pairs excluded as disconnected.
     pub disconnected_pairs: u64,
-    /// Deliveries that failed although a path existed.
+    /// Deliveries that failed although a path existed (FCP + PR).
     pub undelivered: u64,
+    /// FCP walks that failed to deliver although a path existed.
+    pub undelivered_fcp: u64,
+    /// PR walks that failed to deliver although a path existed.
+    pub undelivered_pr: u64,
     /// Sample count per scheme ([`Scheme::ALL`] order).
     pub samples: [u64; 3],
     /// Mean stretch per scheme (null when the scheme has no samples).
@@ -390,6 +529,8 @@ pub fn report_from_rows(rows: &[ScenarioRow], xs: &[f64]) -> SweepReport {
         evaluated_pairs: 0,
         disconnected_pairs: 0,
         undelivered: 0,
+        undelivered_fcp: 0,
+        undelivered_pr: 0,
         samples: [0; 3],
         mean: [f64::NAN; 3],
         max: [f64::NAN; 3],
@@ -401,6 +542,8 @@ pub fn report_from_rows(rows: &[ScenarioRow], xs: &[f64]) -> SweepReport {
         report.evaluated_pairs += row.evaluated_pairs;
         report.disconnected_pairs += row.disconnected_pairs;
         report.undelivered += row.undelivered;
+        report.undelivered_fcp += row.undelivered_fcp;
+        report.undelivered_pr += row.undelivered_pr;
         #[allow(clippy::needless_range_loop)]
         for s in 0..3 {
             report.samples[s] += row.samples[s];
@@ -473,7 +616,7 @@ pub fn run_serial(graph: &Graph, pr: &PrNetwork, family: &dyn ScenarioFamily) ->
                     w if w.result.is_delivered() => {
                         out.fcp.push(w.cost(graph) as f64 / optimal as f64)
                     }
-                    _ => out.undelivered += 1,
+                    _ => out.drop_fcp(),
                 }
 
                 // PR: cycle following.
@@ -482,7 +625,7 @@ pub fn run_serial(graph: &Graph, pr: &PrNetwork, family: &dyn ScenarioFamily) ->
                     WalkResult::Delivered => {
                         out.packet_recycling.push(w.cost(graph) as f64 / optimal as f64)
                     }
-                    WalkResult::Dropped(_) => out.undelivered += 1,
+                    WalkResult::Dropped(_) => out.drop_pr(),
                 }
             }
         }
@@ -589,6 +732,8 @@ mod tests {
         let samples = run(&g, &pr, &scenarios, 2);
 
         assert_eq!(samples.undelivered, 0, "all three schemes must deliver");
+        assert_eq!(samples.undelivered_fcp, 0);
+        assert_eq!(samples.undelivered_pr, 0);
         assert_eq!(samples.disconnected_pairs, 0, "Abilene is 2-edge-connected");
         assert!(samples.evaluated_pairs > 0);
         assert_eq!(samples.reconvergence.len(), samples.packet_recycling.len());
@@ -662,6 +807,10 @@ mod tests {
         assert_eq!(report.evaluated_pairs, samples.evaluated_pairs as u64);
         assert_eq!(report.samples[0], samples.reconvergence.len() as u64);
         assert_eq!(report.undelivered, samples.undelivered as u64);
+        assert_eq!(report.undelivered_fcp + report.undelivered_pr, report.undelivered);
+
+        // The unmemoized reference path folds to bit-identical rows.
+        assert_eq!(run_rows_plain(&g, &pr, &family, 2, 0), rows);
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         assert!((report.mean[2] - mean(&samples.packet_recycling)).abs() < 1e-12);
 

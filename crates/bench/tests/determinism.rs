@@ -105,6 +105,35 @@ fn teleglobe_stretch_parallel_equals_serial() {
     }
 }
 
+/// The PR 8 acceptance criterion in miniature: per-scenario aggregates
+/// from the suffix-**memoized** walk engine (`run_rows`, what `pr
+/// sweep` ships) must be bit-identical to the unmemoized path
+/// (`run_rows_plain`) at 1/2/4 threads. The isp-1000 exhaustive sweep
+/// this gates is too slow for tier-1, so a 120-node instance of the
+/// same synthetic ISP family stands in; the equivalence argument
+/// (DESIGN.md §14) is size-independent.
+#[test]
+fn synth_mesh_memoized_rows_equal_plain_rows() {
+    let g = pr_graph::generators::isp_mesh(&pr_graph::generators::MeshParams::new(120, 2010));
+    let rot = pr_embedding::RotationSystem::geometric(&g).expect("mesh has coordinates");
+    let emb = CellularEmbedding::new(&g, rot).expect("connected topology");
+    let pr = PrNetwork::compile(&g, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
+    let singles = SingleLinkFailures::new(&g);
+    let reference = pr_bench::stretch::run_rows_plain(&g, &pr, &singles, 1, 0);
+    for threads in THREAD_COUNTS {
+        let memoized = pr_bench::stretch::run_rows(&g, &pr, &singles, threads, 0);
+        assert_eq!(
+            memoized, reference,
+            "memoized ScenarioRows diverged from the plain walker at {threads} threads"
+        );
+        let plain = pr_bench::stretch::run_rows_plain(&g, &pr, &singles, threads, 0);
+        assert_eq!(
+            plain, reference,
+            "plain ScenarioRows diverged across thread counts at {threads} threads"
+        );
+    }
+}
+
 // ---- temporal sweeps ---------------------------------------------------
 
 /// Abilene with its certified embedding, cheap search budget.

@@ -517,8 +517,13 @@ fn run_sharded_sweep(
             let xs = pr_bench::stretch::figure2_xs();
             let report = pr_bench::stretch::report_from_rows(&rows, &xs);
             println!(
-                "affected connected pairs: {}, disconnected (excluded): {}, undelivered: {}",
-                report.evaluated_pairs, report.disconnected_pairs, report.undelivered
+                "affected connected pairs: {}, disconnected (excluded): {}, \
+                 undelivered: {} (fcp {}, packet-recycling {})",
+                report.evaluated_pairs,
+                report.disconnected_pairs,
+                report.undelivered,
+                report.undelivered_fcp,
+                report.undelivered_pr
             );
             println!(
                 "mean stretch:  reconvergence {:.3}  fcp {:.3}  packet-recycling {:.3}",
@@ -673,11 +678,16 @@ pub fn sweep(args: &Args) -> CmdResult {
                     args,
                 );
             }
-            let (s, repair) =
+            let (s, stats) =
                 pr_bench::stretch::run_with_stats(&graph, &net, family.as_ref(), threads);
             println!(
-                "affected connected pairs: {}, disconnected (excluded): {}, undelivered: {}",
-                s.evaluated_pairs, s.disconnected_pairs, s.undelivered
+                "affected connected pairs: {}, disconnected (excluded): {}, \
+                 undelivered: {} (fcp {}, packet-recycling {})",
+                s.evaluated_pairs,
+                s.disconnected_pairs,
+                s.undelivered,
+                s.undelivered_fcp,
+                s.undelivered_pr
             );
             let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
             println!(
@@ -687,6 +697,7 @@ pub fn sweep(args: &Args) -> CmdResult {
                 mean(&s.packet_recycling)
             );
             if args.flag("stats") {
+                let repair = &stats.repair;
                 println!(
                     "spt repair:    {} repairs, cone {:.1}% of nodes (hit rate {:.1}%), \
                      {} full rebuilds",
@@ -694,6 +705,15 @@ pub fn sweep(args: &Args) -> CmdResult {
                     100.0 * repair.cone_fraction(),
                     100.0 * repair.hit_rate(),
                     repair.full_rebuilds
+                );
+                let memo = &stats.memo;
+                println!(
+                    "walk memo:     hit rate {:.1}% ({} splices / {} lookups), \
+                     spliced steps {:.1}% of walk work",
+                    100.0 * memo.hit_rate(),
+                    memo.hits,
+                    memo.lookups,
+                    100.0 * memo.spliced_share()
                 );
             }
             if let Some(format) = format {

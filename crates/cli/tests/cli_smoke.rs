@@ -96,6 +96,19 @@ fn sweep_runs_topological_and_temporal_families() {
 }
 
 #[test]
+fn sweep_stats_reports_repair_and_walk_memo() {
+    let out = run(&["sweep", "figure1", "--family", "single", "--stats", "--threads", "2"]);
+    assert!(out.status.success(), "sweep --stats failed: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("spt repair:"), "repair stats line missing:\n{text}");
+    assert!(text.contains("walk memo:"), "memo stats line missing:\n{text}");
+    assert!(text.contains("hit rate"), "memo hit rate missing:\n{text}");
+    assert!(text.contains("spliced steps"), "spliced-steps share missing:\n{text}");
+    // Per-scheme undelivered attribution rides along on the summary.
+    assert!(text.contains("(fcp 0, packet-recycling 0)"), "undelivered split missing:\n{text}");
+}
+
+#[test]
 fn sweep_rejects_unknown_family_and_srlg_without_coordinates() {
     let out = run(&["sweep", "figure1", "--family", "cosmic-rays"]);
     assert_eq!(out.status.code(), Some(1));

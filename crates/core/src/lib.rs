@@ -50,6 +50,7 @@
 mod agent;
 mod fib;
 mod header;
+mod memo;
 mod scratch;
 mod tables;
 pub mod trace;
@@ -61,9 +62,12 @@ pub use fib::{
     FlowWalk,
 };
 pub use header::{HeaderCodec, HeaderError, PrHeader};
+pub use memo::{MemoStats, SuffixMemo};
 pub use scratch::{FxHasher64, WalkScratch};
 pub use tables::{
     CycleFollowingTable, CycleRow, DiscriminatorKind, MemoryFootprint, RoutingTables,
 };
 pub use trace::{trace_packet, HopRule, PacketTrace, TraceOutcome, TraceStep};
-pub use walker::{generous_ttl, walk_packet, walk_packet_with, Walk, WalkResult};
+pub use walker::{
+    generous_ttl, walk_packet, walk_packet_spliced, walk_packet_with, SplicedWalk, Walk, WalkResult,
+};

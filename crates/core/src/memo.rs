@@ -1,0 +1,409 @@
+//! Per-unit suffix memoization for the packet walker.
+//!
+//! Within one (failure set, destination) work unit the walker is a
+//! deterministic function of the visited triple
+//! `(router, ingress, header state)`: two walks that ever coincide on
+//! a triple traverse identical darts from that point on. Sweeps walk
+//! every affected source of a unit, and those trajectories converge
+//! onto shared suffixes (downstream of the re-cycling detour all
+//! sources follow the same darts toward the destination), so most of a
+//! unit's per-source work re-walks tails an earlier walk already
+//! resolved.
+//!
+//! [`SuffixMemo`] caches, per triple, the *remaining* cost and step
+//! count to delivery. A later walk that reaches a memoized triple
+//! splices the tail instead of re-walking it — see
+//! [`walk_packet_spliced`](crate::walk_packet_spliced). Only
+//! **delivered** suffixes are memoized: a delivered trajectory can
+//! never intersect a later walk's prefix (that would make it periodic,
+//! contradicting delivery), so a splice reproduces the plain walk
+//! dart-for-dart and the summed `u64` cost is bit-identical. Dropped
+//! walks seed nothing — their drop step and reason can legitimately
+//! differ per prefix, so they are always walked in full.
+//!
+//! The table mirrors [`WalkScratch`](crate::WalkScratch): open
+//! addressing over packed key words with exact triple verification,
+//! generation-stamped so [`begin_unit`](SuffixMemo::begin_unit)
+//! eviction is O(1) and buffers are reused across units.
+
+use std::hash::{Hash, Hasher};
+
+use pr_graph::{Dart, NodeId};
+
+use crate::FxHasher64;
+
+/// Counters describing how much walking a [`SuffixMemo`] saved.
+///
+/// Accumulated inside the memo and harvested per work unit via
+/// [`SuffixMemo::take_stats`], so parallel sweeps can merge them in
+/// deterministic unit order (the same discipline `RepairStats`
+/// follows).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Triples consulted in the memo (one lookup per walked hop).
+    pub lookups: u64,
+    /// Lookups that resolved to a splice (found + TTL guard passed).
+    pub hits: u64,
+    /// Steps answered from the memo instead of being walked.
+    pub spliced_steps: u64,
+    /// Steps physically walked (darts actually traversed).
+    pub walked_steps: u64,
+}
+
+impl MemoStats {
+    /// Fraction of lookups that spliced. 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+
+    /// Share of total steps (walked + spliced) answered by the memo.
+    /// 0 when no steps were taken at all.
+    pub fn spliced_share(&self) -> f64 {
+        let total = self.spliced_steps + self.walked_steps;
+        if total == 0 {
+            0.0
+        } else {
+            self.spliced_steps as f64 / total as f64
+        }
+    }
+
+    /// Folds `other` into `self` (plain sums).
+    pub fn merge(&mut self, other: &MemoStats) {
+        self.lookups += other.lookups;
+        self.hits += other.hits;
+        self.spliced_steps += other.spliced_steps;
+        self.walked_steps += other.walked_steps;
+    }
+}
+
+/// One memoized triple with its remaining-to-delivery totals.
+#[derive(Debug, Clone)]
+struct MemoEntry<S> {
+    node: NodeId,
+    ingress: Option<Dart>,
+    state: S,
+    /// Weighted cost of the suffix from this triple to delivery.
+    rem_cost: u64,
+    /// Dart count of that suffix (≥ 1: the destination is never
+    /// recorded as a triple).
+    rem_steps: u32,
+}
+
+/// Reusable delivered-suffix cache for one (failure set, destination)
+/// work unit at a time.
+///
+/// Hold one per forwarding scheme per worker, call
+/// [`begin_unit`](Self::begin_unit) at every unit boundary, and pass
+/// it to [`walk_packet_spliced`](crate::walk_packet_spliced) for every
+/// walk of the unit. Entries from different units can never mix: the
+/// generation stamp invalidates the whole table in O(1).
+#[derive(Debug, Clone)]
+pub struct SuffixMemo<S> {
+    /// Packed key words; live only when the generation stamp matches.
+    slots: Vec<u64>,
+    /// Generation stamp per slot (stale ⇒ empty).
+    slot_gen: Vec<u32>,
+    /// Index into `entries` for each occupied slot.
+    slot_entry: Vec<u32>,
+    /// Memoized triples of the current unit, insertion-ordered.
+    entries: Vec<MemoEntry<S>>,
+    /// Current unit's generation (starts at 1; zeroed stamps are stale).
+    gen: u32,
+    /// Cumulative prefix cost per triple recorded by the in-flight
+    /// walk, aligned with the walk scratch's entry order; consumed by
+    /// [`seed`](Self::seed).
+    cum: Vec<u64>,
+    stats: MemoStats,
+}
+
+impl<S> Default for SuffixMemo<S> {
+    fn default() -> Self {
+        SuffixMemo::new()
+    }
+}
+
+impl<S> SuffixMemo<S> {
+    /// An empty memo; buffers grow on first use and are then reused.
+    pub fn new() -> SuffixMemo<S> {
+        SuffixMemo {
+            slots: Vec::new(),
+            slot_gen: Vec::new(),
+            slot_entry: Vec::new(),
+            entries: Vec::new(),
+            gen: 1,
+            cum: Vec::new(),
+            stats: MemoStats::default(),
+        }
+    }
+
+    /// Number of memoized triples in the current unit.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if the current unit has no memoized triples.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Evicts every entry (O(1) via the generation stamp) at a unit
+    /// boundary. Stats are *not* reset — harvest them with
+    /// [`take_stats`](Self::take_stats).
+    pub fn begin_unit(&mut self) {
+        self.entries.clear();
+        self.cum.clear();
+        if self.gen == u32::MAX {
+            self.slot_gen.fill(0);
+            self.gen = 1;
+        } else {
+            self.gen += 1;
+        }
+    }
+
+    /// Returns the accumulated counters and resets them, so callers
+    /// can attribute stats to the unit (or batch) just finished.
+    pub fn take_stats(&mut self) -> MemoStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Clears per-walk bookkeeping. Called by the walker at walk start.
+    #[inline]
+    pub(crate) fn begin_walk(&mut self) {
+        self.cum.clear();
+    }
+
+    /// Records the cumulative prefix cost of the triple the walker
+    /// just recorded in its scratch (index-aligned with the scratch's
+    /// insertion-ordered entries).
+    #[inline]
+    pub(crate) fn note_prefix(&mut self, cum_cost: u64) {
+        self.cum.push(cum_cost);
+    }
+
+    /// Accounts `steps` darts physically traversed by a finished walk.
+    #[inline]
+    pub(crate) fn record_walked(&mut self, steps: u64) {
+        self.stats.walked_steps += steps;
+    }
+
+    /// Accounts one splice that answered `steps` darts from the memo.
+    #[inline]
+    pub(crate) fn record_splice(&mut self, steps: u64) {
+        self.stats.hits += 1;
+        self.stats.spliced_steps += steps;
+    }
+}
+
+impl<S: Clone + Hash + Eq> SuffixMemo<S> {
+    /// Looks up a triple, returning the memoized
+    /// `(remaining cost, remaining steps)` to delivery if this unit
+    /// has already resolved it. Counts one lookup either way.
+    #[inline]
+    pub fn lookup(&mut self, node: NodeId, ingress: Option<Dart>, state: &S) -> Option<(u64, u32)> {
+        self.stats.lookups += 1;
+        if self.entries.is_empty() {
+            return None;
+        }
+        let key = Self::key(node, ingress, state);
+        let mask = self.slots.len() - 1;
+        let mut i = key as usize & mask;
+        while self.slot_gen[i] == self.gen {
+            if self.slots[i] == key {
+                let e = &self.entries[self.slot_entry[i] as usize];
+                if e.node == node && e.ingress == ingress && e.state == *state {
+                    return Some((e.rem_cost, e.rem_steps));
+                }
+            }
+            i = (i + 1) & mask;
+        }
+        None
+    }
+
+    /// Seeds the memo from a delivered walk's visited-triple trail
+    /// (`entries`, in visitation order, from the walk scratch): entry
+    /// `i` was recorded after `i` darts at cumulative cost `cum[i]`,
+    /// so its suffix totals are `total − cum[i]` and `total_steps − i`.
+    ///
+    /// Values are unique per triple (the trajectory from a triple is
+    /// deterministic), so insert-if-absent keeps earlier entries.
+    pub(crate) fn seed(
+        &mut self,
+        trail: &[(NodeId, Option<Dart>, S)],
+        total_cost: u64,
+        total_steps: usize,
+    ) {
+        debug_assert_eq!(self.cum.len(), trail.len(), "cum costs align with the trail");
+        for (i, (node, ingress, state)) in trail.iter().enumerate() {
+            let rem_steps = total_steps - i;
+            if rem_steps > u32::MAX as usize {
+                continue;
+            }
+            let rem_cost = total_cost - self.cum[i];
+            self.insert(*node, *ingress, state, rem_cost, rem_steps as u32);
+        }
+        self.cum.clear();
+    }
+
+    /// Inserts a triple if absent. Existing entries win (their values
+    /// are identical by determinism; debug builds verify that).
+    fn insert(
+        &mut self,
+        node: NodeId,
+        ingress: Option<Dart>,
+        state: &S,
+        rem_cost: u64,
+        rem_steps: u32,
+    ) {
+        if (self.entries.len() + 1) * 2 > self.slots.len() {
+            self.grow();
+        }
+        let key = Self::key(node, ingress, state);
+        let mask = self.slots.len() - 1;
+        let mut i = key as usize & mask;
+        loop {
+            if self.slot_gen[i] != self.gen {
+                self.slots[i] = key;
+                self.slot_gen[i] = self.gen;
+                self.slot_entry[i] = self.entries.len() as u32;
+                self.entries.push(MemoEntry {
+                    node,
+                    ingress,
+                    state: state.clone(),
+                    rem_cost,
+                    rem_steps,
+                });
+                return;
+            }
+            if self.slots[i] == key {
+                let e = &self.entries[self.slot_entry[i] as usize];
+                if e.node == node && e.ingress == ingress && e.state == *state {
+                    debug_assert_eq!(
+                        (e.rem_cost, e.rem_steps),
+                        (rem_cost, rem_steps),
+                        "deterministic trajectories memoize one value per triple"
+                    );
+                    return;
+                }
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Packed key word — identical packing to `WalkScratch`.
+    #[inline]
+    fn key(node: NodeId, ingress: Option<Dart>, state: &S) -> u64 {
+        let mut h = FxHasher64::default();
+        h.write_u32(node.0);
+        h.write_u32(ingress.map_or(0, |d| d.0 + 1));
+        state.hash(&mut h);
+        h.finish()
+    }
+
+    /// Doubles the table (or seeds it) and re-inserts the live entries.
+    fn grow(&mut self) {
+        let new_len = (self.slots.len() * 2).max(16);
+        self.slots.clear();
+        self.slots.resize(new_len, 0);
+        self.slot_gen.clear();
+        self.slot_gen.resize(new_len, 0);
+        self.slot_entry.clear();
+        self.slot_entry.resize(new_len, 0);
+        let mask = new_len - 1;
+        for (idx, e) in self.entries.iter().enumerate() {
+            let key = Self::key(e.node, e.ingress, &e.state);
+            let mut i = key as usize & mask;
+            while self.slot_gen[i] == self.gen {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = key;
+            self.slot_gen[i] = self.gen;
+            self.slot_entry[i] = idx as u32;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_misses_on_empty_and_counts() {
+        let mut memo: SuffixMemo<u32> = SuffixMemo::new();
+        assert_eq!(memo.lookup(NodeId(1), None, &0), None);
+        assert_eq!(memo.take_stats().lookups, 1);
+        assert_eq!(memo.take_stats(), MemoStats::default(), "take_stats resets");
+    }
+
+    #[test]
+    fn seed_then_lookup_round_trips_remaining_totals() {
+        let mut memo: SuffixMemo<u32> = SuffixMemo::new();
+        // A delivered 3-step walk over triples t0, t1, t2 with per-hop
+        // costs 5, 7, 2 (total 14).
+        let trail = vec![
+            (NodeId(0), None, 9u32),
+            (NodeId(1), Some(Dart(0)), 9),
+            (NodeId(2), Some(Dart(2)), 9),
+        ];
+        memo.begin_walk();
+        memo.note_prefix(0);
+        memo.note_prefix(5);
+        memo.note_prefix(12);
+        memo.seed(&trail, 14, 3);
+        assert_eq!(memo.len(), 3);
+        assert_eq!(memo.lookup(NodeId(0), None, &9), Some((14, 3)));
+        assert_eq!(memo.lookup(NodeId(1), Some(Dart(0)), &9), Some((9, 2)));
+        assert_eq!(memo.lookup(NodeId(2), Some(Dart(2)), &9), Some((2, 1)));
+        // Same node, different ingress or state: distinct triples.
+        assert_eq!(memo.lookup(NodeId(1), Some(Dart(1)), &9), None);
+        assert_eq!(memo.lookup(NodeId(1), Some(Dart(0)), &8), None);
+    }
+
+    #[test]
+    fn begin_unit_evicts_everything() {
+        let mut memo: SuffixMemo<u32> = SuffixMemo::new();
+        memo.begin_walk();
+        memo.note_prefix(0);
+        memo.seed(&[(NodeId(4), None, 1u32)], 3, 1);
+        assert_eq!(memo.lookup(NodeId(4), None, &1), Some((3, 1)));
+        memo.begin_unit();
+        assert!(memo.is_empty());
+        assert_eq!(memo.lookup(NodeId(4), None, &1), None, "stale unit must not leak");
+    }
+
+    #[test]
+    fn insert_if_absent_keeps_first_value_and_survives_growth() {
+        let mut memo: SuffixMemo<u64> = SuffixMemo::new();
+        // Grow the table well past its initial capacity.
+        for n in 0..2_000u32 {
+            memo.begin_walk();
+            memo.note_prefix(0);
+            memo.seed(&[(NodeId(n), None, u64::from(n))], u64::from(n) + 1, 1);
+        }
+        for n in 0..2_000u32 {
+            assert_eq!(memo.lookup(NodeId(n), None, &u64::from(n)), Some((u64::from(n) + 1, 1)));
+        }
+        // Re-seeding an existing triple with the same value is a no-op.
+        memo.begin_walk();
+        memo.note_prefix(0);
+        memo.seed(&[(NodeId(7), None, 7u64)], 8, 1);
+        assert_eq!(memo.len(), 2_000);
+    }
+
+    #[test]
+    fn stats_ratios() {
+        let stats = MemoStats { lookups: 10, hits: 4, spliced_steps: 30, walked_steps: 10 };
+        assert!((stats.hit_rate() - 0.4).abs() < 1e-12);
+        assert!((stats.spliced_share() - 0.75).abs() < 1e-12);
+        let mut merged = MemoStats::default();
+        assert_eq!(merged.hit_rate(), 0.0);
+        assert_eq!(merged.spliced_share(), 0.0);
+        merged.merge(&stats);
+        merged.merge(&stats);
+        assert_eq!(merged.lookups, 20);
+        assert_eq!(merged.spliced_steps, 60);
+    }
+}

@@ -132,6 +132,14 @@ impl<S> WalkScratch<S> {
         self.entries.is_empty()
     }
 
+    /// The triples recorded since the last reset, in insertion order —
+    /// for a packet walk this is exactly the visitation order, so
+    /// entry `i` was recorded after `i` darts. Suffix memoization
+    /// ([`SuffixMemo`](crate::SuffixMemo)) seeds from this trail.
+    pub fn entries(&self) -> &[(NodeId, Option<Dart>, S)] {
+        &self.entries
+    }
+
     /// Clears the table for a new walk, keeping the buffers. O(1): one
     /// long livelocked walk may grow the table, but later short walks
     /// don't pay to re-zero it — stale slots age out via the

@@ -21,7 +21,7 @@
 
 use pr_graph::{Dart, Graph, LinkSet, NodeId, Path};
 
-use crate::{DropReason, ForwardDecision, ForwardingAgent, WalkScratch};
+use crate::{DropReason, ForwardDecision, ForwardingAgent, SuffixMemo, WalkScratch};
 
 /// Result of walking one packet.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -162,6 +162,136 @@ where
                 // learning failures) before concluding it must drop.
                 peak_header_bits = peak_header_bits.max(agent.header_bits(&state));
                 return Walk { result: WalkResult::Dropped(reason), path, peak_header_bits };
+            }
+        }
+    }
+}
+
+/// A memoized walk's outcome: result plus exact traversal totals,
+/// without materializing the path (spliced tails have no path to
+/// materialize). For the same inputs, `cost` and `steps` equal
+/// `walk.cost(graph)` and `walk.path.hop_count()` of the plain walker
+/// bit-for-bit — both are `u64` sums over the identical dart sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplicedWalk {
+    /// Delivery or drop (with reason), identical to the plain walker's.
+    pub result: WalkResult,
+    /// Weighted cost of the (possibly partially spliced) traversal.
+    pub cost: u64,
+    /// Darts traversed, spliced tail included.
+    pub steps: usize,
+}
+
+impl SplicedWalk {
+    /// Stretch relative to `optimal`, mirroring [`Walk::stretch`].
+    pub fn stretch(&self, optimal: u64) -> Option<f64> {
+        if !self.result.is_delivered() {
+            return None;
+        }
+        pr_graph::stretch(self.cost, optimal)
+    }
+}
+
+/// [`walk_packet_with`] plus per-unit suffix memoization.
+///
+/// `memo` caches delivered suffixes keyed by the visited triple
+/// `(router, ingress, header state)`; the caller must call
+/// [`SuffixMemo::begin_unit`] whenever `(failed, dest)` changes, since
+/// memoized suffixes are only valid within one such unit. When a walk
+/// reaches a memoized triple and the remaining TTL covers the
+/// memoized remaining steps, the tail is spliced: the walk returns
+/// `Delivered` with the exact cost and step totals the plain walker
+/// would have produced. When the TTL guard fails the walker keeps
+/// walking, which reproduces the plain walker's behavior step for
+/// step (the memo only ever shortcuts work, never changes it).
+///
+/// Completed *delivered* walks — spliced or not — seed the memo from
+/// their visited-triple trail. Dropped walks seed nothing: only
+/// delivery makes a suffix prefix-independent (see the `memo` module
+/// docs for the argument).
+#[allow(clippy::too_many_arguments)]
+pub fn walk_packet_spliced<A: ForwardingAgent>(
+    graph: &Graph,
+    agent: &A,
+    src: NodeId,
+    dest: NodeId,
+    failed: &LinkSet,
+    ttl: usize,
+    scratch: &mut WalkScratch<A::State>,
+    memo: &mut SuffixMemo<A::State>,
+) -> SplicedWalk
+where
+    A::State: std::hash::Hash + Eq,
+{
+    let mut state = A::State::default();
+    let mut at = src;
+    let mut ingress: Option<Dart> = None;
+    let mut cost: u64 = 0;
+    let mut steps: usize = 0;
+    scratch.reset();
+    memo.begin_walk();
+
+    loop {
+        if at == dest {
+            memo.record_walked(steps as u64);
+            memo.seed(scratch.entries(), cost, steps);
+            return SplicedWalk { result: WalkResult::Delivered, cost, steps };
+        }
+        if steps >= ttl {
+            memo.record_walked(steps as u64);
+            return SplicedWalk {
+                result: WalkResult::Dropped(DropReason::TtlExpired),
+                cost,
+                steps,
+            };
+        }
+        if !scratch.record(at, ingress, &state) {
+            memo.record_walked(steps as u64);
+            return SplicedWalk {
+                result: WalkResult::Dropped(DropReason::ForwardingLoop),
+                cost,
+                steps,
+            };
+        }
+        memo.note_prefix(cost);
+        if let Some((rem_cost, rem_steps)) = memo.lookup(at, ingress, &state) {
+            // Splice only when every intermediate TTL check of the
+            // replayed tail would have passed: delivery at exactly
+            // `ttl` steps is legal, so `remaining TTL ≥ rem_steps`
+            // suffices.
+            if ttl - steps >= rem_steps as usize {
+                let total_cost = cost + rem_cost;
+                let total_steps = steps + rem_steps as usize;
+                memo.record_splice(u64::from(rem_steps));
+                memo.record_walked(steps as u64);
+                memo.seed(scratch.entries(), total_cost, total_steps);
+                return SplicedWalk {
+                    result: WalkResult::Delivered,
+                    cost: total_cost,
+                    steps: total_steps,
+                };
+            }
+        }
+
+        match agent.decide(at, ingress, dest, &mut state, failed) {
+            ForwardDecision::Forward(d) => {
+                let physically_ok = graph.dart_tail(d) == at && !failed.contains_dart(d);
+                if !physically_ok {
+                    memo.record_walked(steps as u64);
+                    return SplicedWalk {
+                        result: WalkResult::Dropped(DropReason::ProtocolViolation),
+                        cost,
+                        steps,
+                    };
+                }
+                cost += u64::from(graph.weight(d.link()));
+                steps += 1;
+                at = graph.dart_head(d);
+                ingress = Some(d);
+            }
+            ForwardDecision::Drop(reason) => {
+                memo.record_walked(steps as u64);
+                return SplicedWalk { result: WalkResult::Dropped(reason), cost, steps };
             }
         }
     }
@@ -362,6 +492,103 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn spliced_walks_match_plain_walks_exactly() {
+        // Every (failure, dest) unit on the ring, every source, and a
+        // descending TTL ladder: the generous-TTL pass seeds the memo,
+        // then tight TTLs force the remaining-steps guard to reject
+        // splices and keep walking — outcomes must still match the
+        // plain walker bit for bit.
+        for mode in [PrMode::Basic, PrMode::DistanceDiscriminator] {
+            let (g, net) = ring_net(mode);
+            let agent = net.agent(&g);
+            let mut scratch = WalkScratch::new();
+            let mut plain_scratch = WalkScratch::new();
+            let mut memo = SuffixMemo::new();
+            for failed_link in g.links() {
+                let failed = LinkSet::from_links(g.link_count(), [failed_link]);
+                for dst in g.nodes() {
+                    memo.begin_unit();
+                    for ttl in [generous_ttl(&g), 6, 5, 3, 1, 0] {
+                        for src in g.nodes() {
+                            let plain = walk_packet_with(
+                                &g,
+                                &agent,
+                                src,
+                                dst,
+                                &failed,
+                                ttl,
+                                &mut plain_scratch,
+                            );
+                            let spliced = walk_packet_spliced(
+                                &g,
+                                &agent,
+                                src,
+                                dst,
+                                &failed,
+                                ttl,
+                                &mut scratch,
+                                &mut memo,
+                            );
+                            let label = format!("{mode:?} {failed_link} {src}->{dst} ttl={ttl}");
+                            assert_eq!(spliced.result, plain.result, "{label}");
+                            assert_eq!(spliced.cost, plain.cost(&g), "{label}");
+                            assert_eq!(spliced.steps, plain.path.hop_count(), "{label}");
+                            assert_eq!(
+                                spliced.stretch(4),
+                                plain.stretch(&g, 4),
+                                "{label}: stretch projection agrees"
+                            );
+                        }
+                    }
+                }
+            }
+            let stats = memo.take_stats();
+            assert!(stats.hits > 0, "the ring sweep must actually splice ({mode:?})");
+            assert!(stats.spliced_steps > 0);
+            assert!(stats.hits <= stats.lookups);
+        }
+    }
+
+    #[test]
+    fn memo_is_scoped_to_its_unit() {
+        // Seeding under one failure set, then walking another without
+        // begin_unit, would be unsound; begin_unit makes it safe.
+        let (g, net) = ring_net(PrMode::DistanceDiscriminator);
+        let agent = net.agent(&g);
+        let ttl = generous_ttl(&g);
+        let mut scratch = WalkScratch::new();
+        let mut memo = SuffixMemo::new();
+        let l10 = g.find_link(NodeId(1), NodeId(0)).unwrap();
+        let failed = LinkSet::from_links(g.link_count(), [l10]);
+        memo.begin_unit();
+        let detour = walk_packet_spliced(
+            &g,
+            &agent,
+            NodeId(1),
+            NodeId(0),
+            &failed,
+            ttl,
+            &mut scratch,
+            &mut memo,
+        );
+        assert_eq!(detour.steps, 5, "detoured the long way around");
+        // New unit: no failures. The memo must not replay the detour.
+        memo.begin_unit();
+        let none = LinkSet::empty(g.link_count());
+        let direct = walk_packet_spliced(
+            &g,
+            &agent,
+            NodeId(1),
+            NodeId(0),
+            &none,
+            ttl,
+            &mut scratch,
+            &mut memo,
+        );
+        assert_eq!(direct.steps, 1, "fresh unit walks the direct link");
     }
 
     #[test]

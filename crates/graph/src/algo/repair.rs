@@ -460,7 +460,10 @@ impl SpTree {
         scratch.refresh_failed_mask(graph, failed);
         scratch.stats.repairs += 1;
         scratch.stats.cone_nodes += cone.len() as u64;
-        scratch.stats.repaired_slots += cone.len() as u64;
+        // The denominator stays `n` per repair (like the full-tree
+        // paths): the hit rate reports labels served from the base
+        // tree out of all node slots, not out of the cone itself.
+        scratch.stats.repaired_slots += graph.node_count() as u64;
 
         scratch.next_class_epoch();
         for &u in cone {
