@@ -1,0 +1,87 @@
+//! Experiment **E13**: demand-weighted loss-over-time under stochastic
+//! impairment. Wraps each paper topology's outage sweep in a
+//! Gilbert–Elliott fault process and a correlated flap-storm layer,
+//! replays gravity demand through every impaired timeline, and writes
+//! the loss-over-time curves plus a summary table under `results/`.
+
+use pr_bench::{engine, impair, paper_topology, write_result, EXPERIMENT_SEED};
+use pr_core::{DiscriminatorKind, PrMode, PrNetwork};
+use pr_scenarios::{Impaired, ImpairmentProcess, OutageParams, OutageSweep, TemporalFamily};
+use pr_topologies::Isp;
+use pr_traffic::{FlowSet, GravityTraffic};
+
+fn main() {
+    let threads = engine::threads_from_args();
+    println!("=== E13: stochastic impairment, gravity demand ({threads} threads) ===\n");
+    let mut table = String::from(
+        "topology,process,scenarios,events,offered_demand_s,pr_lost_demand_s,\
+         igp_lost_demand_s,pr_loss_over_time,igp_loss_over_time,peak_pr_loss_fraction\n",
+    );
+    for isp in [Isp::Abilene, Isp::Geant] {
+        let (g, emb) = paper_topology(isp);
+        let net =
+            PrNetwork::compile(&g, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
+        let flows = FlowSet::all_pairs(&GravityTraffic::new(&g));
+        let slug = format!("{isp:?}").to_lowercase();
+        let processes: Vec<(&str, Box<dyn TemporalFamily>)> = vec![
+            (
+                "gilbert",
+                Box::new(Impaired::new(
+                    &g,
+                    OutageSweep::new(&g, OutageParams::default()),
+                    ImpairmentProcess::GilbertElliott {
+                        fail_rate_per_s: 2.0,
+                        mean_down_ns: 20_000_000,
+                    },
+                    EXPERIMENT_SEED,
+                )),
+            ),
+            (
+                "storm",
+                Box::new(Impaired::new(
+                    &g,
+                    OutageSweep::new(&g, OutageParams::default()),
+                    ImpairmentProcess::FlapStorm {
+                        storms: 1,
+                        radius_km: 500.0,
+                        down_for_ns: 50_000_000,
+                    },
+                    EXPERIMENT_SEED,
+                )),
+            ),
+        ];
+        for (tag, family) in &processes {
+            let rows = impair::run(&g, &net, family.as_ref(), &flows, threads);
+            let s = impair::summarize(&rows);
+            println!(
+                "{slug}/{tag}: {} scenarios, {} events, PR loses {:.6} demand-s vs IGP {:.6} \
+                 (loss-over-time {:.6} vs {:.6})",
+                s.scenarios,
+                s.events,
+                s.pr_demand_seconds_lost,
+                s.igp_demand_seconds_lost,
+                s.pr_loss_over_time(),
+                s.igp_loss_over_time(),
+            );
+            write_result(&format!("impair_{slug}_{tag}.csv"), &impair::rows_csv(&rows));
+            table.push_str(&format!(
+                "{slug},{tag},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6}\n",
+                s.scenarios,
+                s.events,
+                s.offered_demand_seconds,
+                s.pr_demand_seconds_lost,
+                s.igp_demand_seconds_lost,
+                s.pr_loss_over_time(),
+                s.igp_loss_over_time(),
+                s.peak_pr_loss_fraction,
+            ));
+        }
+        println!();
+    }
+    write_result("impair_summary.csv", &table);
+    println!(
+        "Reading: PR's loss-over-time stays pinned to the detection window even when a\n\
+         Gilbert–Elliott process or a geo-correlated storm multiplies the failure count;\n\
+         the reconverging IGP pays the full convergence transient on every episode."
+    );
+}

@@ -12,6 +12,7 @@
 //! | §4.2/§4.3 coverage claims (E5) | `coverage` |
 //! | §6 header/memory overheads (E8) | `overheads` |
 //! | §1 OC-192 loss arithmetic (E10) | `oc192_loss` |
+//! | impaired loss-over-time (E13) | `impair_loss` |
 //! | embedding-heuristic ablation (E6) | `ablation_embedding` |
 //! | discriminator ablation (E7) | `ablation_dd` |
 //! | genus-vs-delivery finding (E11) | `ablation_genus` |
@@ -35,6 +36,7 @@
 pub mod ablation;
 pub mod coverage;
 pub mod engine;
+pub mod impair;
 pub mod overheads;
 pub mod scenario;
 pub mod shards;

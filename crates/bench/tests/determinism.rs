@@ -282,6 +282,88 @@ fn teleglobe_traffic_replay_parallel_equals_serial() {
     traffic_is_deterministic_on(&g, &pr, &SingleLinkFailures::new(&g), &flows);
 }
 
+// ---- impaired timelines ------------------------------------------------
+
+use pr_scenarios::{Impaired, ImpairmentProcess};
+
+/// Quick Gilbert–Elliott decoration of the outage sweep.
+fn quick_gilbert(graph: &Graph, seed: u64) -> Impaired<'_, OutageSweep<'_>> {
+    Impaired::new(
+        graph,
+        OutageSweep::new(graph, quick_params()),
+        ImpairmentProcess::GilbertElliott { fail_rate_per_s: 25.0, mean_down_ns: 8_000_000 },
+        seed,
+    )
+}
+
+fn impair_is_deterministic_on(
+    graph: &Graph,
+    pr: &PrNetwork,
+    family: &dyn TemporalFamily,
+    flows: &FlowSet,
+) {
+    let reference = pr_bench::impair::run_serial(graph, pr, family, flows);
+    assert_eq!(reference.len(), family.len());
+    for threads in THREAD_COUNTS {
+        let rows = pr_bench::impair::run(graph, pr, family, flows, threads);
+        assert_eq!(
+            rows,
+            reference,
+            "impaired timeline rows diverged from serial at {threads} threads ({})",
+            family.label()
+        );
+    }
+    // Same family, same seed, fresh run: byte-identical artefact.
+    let again = pr_bench::impair::run_serial(graph, pr, family, flows);
+    assert_eq!(
+        pr_bench::impair::rows_csv(&again),
+        pr_bench::impair::rows_csv(&reference),
+        "two same-seed runs must render the identical CSV"
+    );
+}
+
+#[test]
+fn abilene_impaired_sweep_parallel_equals_serial() {
+    let (g, pr) = abilene_net();
+    let flows = FlowSet::all_pairs(&GravityTraffic::new(&g));
+    for seed in SEEDS {
+        impair_is_deterministic_on(&g, &pr, &quick_gilbert(&g, seed), &flows);
+        // Stacked decorators: Impaired<jitter, Impaired<storm, outage>>.
+        let stacked = Impaired::new(
+            &g,
+            Impaired::new(
+                &g,
+                OutageSweep::new(&g, quick_params()),
+                ImpairmentProcess::FlapStorm {
+                    storms: 2,
+                    radius_km: 800.0,
+                    down_for_ns: 10_000_000,
+                },
+                seed,
+            ),
+            ImpairmentProcess::DetectionJitter { max_extra_ns: 2_000_000 },
+            seed.rotate_left(17),
+        );
+        impair_is_deterministic_on(&g, &pr, &stacked, &flows);
+    }
+}
+
+#[test]
+fn geant_impaired_sweep_parallel_equals_serial() {
+    // The acceptance scenario: `pr impair geant --process gilbert
+    // --model gravity --format csv` must be bit-identical at 1/2/4
+    // threads and across two same-seed runs.
+    let g = pr_topologies::load(Isp::Geant, Weighting::Distance);
+    let pr = PrNetwork::compile(
+        &g,
+        planar_embedding(&g, 2010),
+        PrMode::DistanceDiscriminator,
+        DiscriminatorKind::Hops,
+    );
+    let flows = FlowSet::all_pairs(&GravityTraffic::new(&g));
+    impair_is_deterministic_on(&g, &pr, &quick_gilbert(&g, 2010), &flows);
+}
+
 /// The acceptance identity: weighted coverage under the uniform *unit*
 /// matrix is **bit-identical** to the unweighted coverage experiment's
 /// PR-DD cell, scenario family and conditioning held equal.

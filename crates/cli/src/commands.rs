@@ -4,8 +4,9 @@ use pr_core::{generous_ttl, trace_packet, DiscriminatorKind, PrMode, PrNetwork, 
 use pr_embedding::{heuristics, CellularEmbedding, RotationSystem};
 use pr_graph::{algo, Graph, LinkSet, NodeId, SpTree};
 use pr_scenarios::{
-    ExhaustiveKFailures, FlapSweep, NodeFailures, OutageParams, OutageSweep, SampledMultiFailures,
-    ScenarioFamily, SingleLinkFailures, SrlgFailures, TemporalFamily,
+    ExhaustiveKFailures, FlapSweep, Impaired, ImpairmentProcess, NodeFailures, OutageParams,
+    OutageSweep, SampledMultiFailures, ScenarioFamily, SingleLinkFailures, SrlgFailures,
+    TemporalFamily,
 };
 use pr_traffic::{FlowSet, GravityTraffic, HotspotTraffic, TrafficModel, UniformTraffic};
 
@@ -30,6 +31,11 @@ USAGE:
                [--family <single|multi|node|srlg|exhaustive>] [--k N] [--samples N]
                [--radius KM] [--hotspots N] [--boost X]
                [--seed N] [--threads N] [--format csv|json]
+    pr impair  <topology> [--process gilbert|storm|maintenance|jitter]...
+               [--model gravity|uniform|hotspot] [--rate R] [--burst MS]
+               [--storms N] [--radius KM] [--window-ms N] [--links N]
+               [--jitter-ms N] [--flows N] [--hotspots N] [--boost X]
+               [--seed N] [--threads N] [--format csv|json]
 
 FAMILIES (pr sweep / pr traffic):
     single      every single-link failure (streamed exhaustively)
@@ -40,10 +46,17 @@ FAMILIES (pr sweep / pr traffic):
     outage      timed outage of each link through the packet simulator (sweep only)
     flap        timed flap trace on each link (--holddown-ms; sweep only)
 
-TRAFFIC MODELS (pr traffic):
+TRAFFIC MODELS (pr traffic / pr impair):
     gravity     PoP-mass x PoP-mass / distance demand from the shipped coordinates
     uniform     unit demand on every ordered pair (weighted == unweighted)
     hotspot     seeded hot-PoP skew (--hotspots, --boost)
+
+IMPAIRMENT PROCESSES (pr impair; repeat --process to stack decorators):
+    gilbert     Gilbert-Elliott per-link up/down process (--rate /s, --burst ms)
+    storm       geo-correlated flap storms around seeded epicentres
+                (--storms, --radius km, --burst ms)
+    maintenance scheduled windows taking seeded link picks down (--window-ms, --links)
+    jitter      per-scenario detection-latency jitter (--jitter-ms)
 
 SYNTHETIC FAMILIES (pr gen / synth: specs):
     isp | mesh  jittered gridded-PoP mesh with seeded diagonals (planar, 2-edge-connected)
@@ -141,6 +154,34 @@ fn check_family_options(args: &Args, family: &str) -> Result<(), String> {
             return Err(format!(
                 "option --{opt} does not apply to --family {family} (it belongs to --family {})",
                 families.join("|")
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The process-specific options of `pr impair` and the impairment
+/// processes each belongs to — same contract as [`FAMILY_OPTIONS`]:
+/// a knob given alongside processes it does not tune is a hard error.
+const PROCESS_OPTIONS: &[(&str, &[&str])] = &[
+    ("rate", &["gilbert"]),
+    ("burst", &["gilbert", "storm"]),
+    ("storms", &["storm"]),
+    ("radius", &["storm"]),
+    ("window-ms", &["maintenance"]),
+    ("links", &["maintenance"]),
+    ("jitter-ms", &["jitter"]),
+];
+
+/// Rejects process-specific options none of the stacked `--process`
+/// selections uses.
+fn check_process_options(args: &Args, processes: &[&str]) -> Result<(), String> {
+    for (opt, owners) in PROCESS_OPTIONS {
+        if args.option(opt).is_some() && !processes.iter().any(|p| owners.contains(p)) {
+            return Err(format!(
+                "option --{opt} does not apply to --process {} (it belongs to --process {})",
+                processes.join("+"),
+                owners.join("|")
             ));
         }
     }
@@ -729,6 +770,63 @@ pub fn sweep(args: &Args) -> CmdResult {
     Ok(())
 }
 
+/// Builds the demand workload shared by `pr traffic` and `pr impair`:
+/// the `--model` matrix, then the whole matrix or `--flows N` flows
+/// sampled proportionally to demand. Model-specific knobs given with
+/// the wrong `--model` are hard errors.
+fn build_flow_set(
+    graph: &Graph,
+    model_name: &str,
+    seed: u64,
+    args: &Args,
+) -> Result<FlowSet, Box<dyn std::error::Error>> {
+    for opt in ["hotspots", "boost"] {
+        if args.option(opt).is_some() && model_name != "hotspot" {
+            return Err(format!(
+                "option --{opt} does not apply to --model {model_name} \
+                 (it belongs to --model hotspot)"
+            )
+            .into());
+        }
+    }
+    let model: Box<dyn TrafficModel> = match model_name {
+        "uniform" => Box::new(UniformTraffic::new(graph)),
+        "gravity" => {
+            if !graph.fully_located() {
+                return Err("the gravity model needs PoP coordinates on every node \
+                            (use a shipped ISP topology, or --model uniform|hotspot)"
+                    .into());
+            }
+            Box::new(GravityTraffic::new(graph))
+        }
+        "hotspot" => {
+            let n = graph.node_count();
+            let hotspots: usize = args.option_or("hotspots", (n / 8).max(1))?;
+            let boost: f64 = args.option_or("boost", 8.0)?;
+            if hotspots == 0 || hotspots >= n {
+                return Err(format!(
+                    "--hotspots wants a value in 1..{n} (the node count), got {hotspots}"
+                )
+                .into());
+            }
+            if boost <= 0.0 {
+                return Err(format!("--boost wants a positive factor, got {boost}").into());
+            }
+            Box::new(HotspotTraffic::new(graph, hotspots, boost, seed))
+        }
+        other => return Err(format!("--model wants gravity|uniform|hotspot, got {other:?}").into()),
+    };
+    Ok(match args.option_or("flows", 0usize)? {
+        0 if args.option("flows").is_some() => {
+            return Err("--flows wants a positive sample count \
+                        (omit it to replay the full matrix)"
+                .into())
+        }
+        0 => FlowSet::all_pairs(model.as_ref()),
+        n => FlowSet::sampled(model.as_ref(), n, seed),
+    })
+}
+
 /// `pr traffic <topology> [--model gravity|uniform|hotspot] [--flows N]
 /// [--family <...>] [--threads N] [--format csv|json]`.
 ///
@@ -772,55 +870,11 @@ pub fn traffic(args: &Args) -> CmdResult {
     }
     check_family_options(args, family_name)?;
     let model_name = args.option("model").unwrap_or("gravity");
-    for opt in ["hotspots", "boost"] {
-        if args.option(opt).is_some() && model_name != "hotspot" {
-            return Err(format!(
-                "option --{opt} does not apply to --model {model_name} \
-                 (it belongs to --model hotspot)"
-            )
-            .into());
-        }
-    }
     let format = parse_format(args)?;
     let threads = args.option_or("threads", pr_bench::engine::default_threads())?.max(1);
     let seed: u64 = args.option_or("seed", 2010)?;
 
-    let model: Box<dyn TrafficModel> = match model_name {
-        "uniform" => Box::new(UniformTraffic::new(&graph)),
-        "gravity" => {
-            if !graph.fully_located() {
-                return Err("the gravity model needs PoP coordinates on every node \
-                            (use a shipped ISP topology, or --model uniform|hotspot)"
-                    .into());
-            }
-            Box::new(GravityTraffic::new(&graph))
-        }
-        "hotspot" => {
-            let n = graph.node_count();
-            let hotspots: usize = args.option_or("hotspots", (n / 8).max(1))?;
-            let boost: f64 = args.option_or("boost", 8.0)?;
-            if hotspots == 0 || hotspots >= n {
-                return Err(format!(
-                    "--hotspots wants a value in 1..{n} (the node count), got {hotspots}"
-                )
-                .into());
-            }
-            if boost <= 0.0 {
-                return Err(format!("--boost wants a positive factor, got {boost}").into());
-            }
-            Box::new(HotspotTraffic::new(&graph, hotspots, boost, seed))
-        }
-        other => return Err(format!("--model wants gravity|uniform|hotspot, got {other:?}").into()),
-    };
-    let flows = match args.option_or("flows", 0usize)? {
-        0 if args.option("flows").is_some() => {
-            return Err("--flows wants a positive sample count \
-                        (omit it to replay the full matrix)"
-                .into())
-        }
-        0 => FlowSet::all_pairs(model.as_ref()),
-        n => FlowSet::sampled(model.as_ref(), n, seed),
-    };
+    let flows = build_flow_set(&graph, model_name, seed, args)?;
 
     let emb = resolve_embedding(&graph, canonical, args)?;
     println!("embedding genus {}", emb.genus());
@@ -872,6 +926,166 @@ pub fn traffic(args: &Args) -> CmdResult {
                 )
             ),
             || pr_bench::traffic::rows_csv(&rows),
+            || serde_json::to_string_pretty(&rows).expect("serializable rows"),
+        );
+    }
+    Ok(())
+}
+
+/// `pr impair <topology> [--process gilbert|storm|maintenance|jitter]...
+/// [--model gravity|uniform|hotspot] [--format csv|json]`.
+///
+/// The stochastic-impairment front door: wraps the outage sweep in one
+/// seeded [`ImpairmentProcess`] per `--process` (repeats stack, outer
+/// last), replays the `--model` demand through every impaired timeline,
+/// and reports demand-weighted loss-over-time for PR versus a
+/// reconverging IGP — with the full per-interval curve behind
+/// `--format`.
+pub fn impair(args: &Args) -> CmdResult {
+    args.reject_unknown(&[
+        "process",
+        "model",
+        "rate",
+        "burst",
+        "storms",
+        "radius",
+        "window-ms",
+        "links",
+        "jitter-ms",
+        "flows",
+        "hotspots",
+        "boost",
+        "seed",
+        "threads",
+        "format",
+        "restarts",
+        "iterations",
+    ])?;
+    let topo_spec = args.positional(0, "topology")?.to_string();
+    let (graph, canonical) = load_topology(&topo_spec)?;
+    let processes: Vec<&str> = if args.options("process").is_empty() {
+        vec!["gilbert"]
+    } else {
+        args.options("process").iter().map(String::as_str).collect()
+    };
+    check_process_options(args, &processes)?;
+    let model_name = args.option("model").unwrap_or("gravity");
+    let format = parse_format(args)?;
+    let threads = args.option_or("threads", pr_bench::engine::default_threads())?.max(1);
+    let seed: u64 = args.option_or("seed", 2010)?;
+
+    let flows = build_flow_set(&graph, model_name, seed, args)?;
+
+    // Stack the decorators over the outage sweep in the order given:
+    // `--process gilbert --process storm` builds
+    // `Impaired<storm, Impaired<gilbert, OutageSweep>>`.
+    let mut family: Box<dyn TemporalFamily + '_> =
+        Box::new(OutageSweep::new(&graph, OutageParams::default()));
+    for name in &processes {
+        let process = match *name {
+            "gilbert" => {
+                let rate: f64 = args.option_or("rate", 2.0)?;
+                if rate < 0.0 {
+                    return Err(format!("--rate wants failures/s >= 0, got {rate}").into());
+                }
+                let burst: u64 = args.option_or("burst", 20)?;
+                ImpairmentProcess::GilbertElliott {
+                    fail_rate_per_s: rate,
+                    mean_down_ns: burst.max(1) * 1_000_000,
+                }
+            }
+            "storm" => {
+                if !graph.fully_located() {
+                    return Err("storm needs PoP coordinates on every node \
+                                (use a shipped ISP topology or a synth:isp mesh)"
+                        .into());
+                }
+                let radius: f64 = args.option_or("radius", 500.0)?;
+                if radius < 0.0 {
+                    return Err(format!("--radius wants km >= 0, got {radius}").into());
+                }
+                ImpairmentProcess::FlapStorm {
+                    storms: args.option_or("storms", 1)?,
+                    radius_km: radius,
+                    down_for_ns: args.option_or("burst", 20u64)?.max(1) * 1_000_000,
+                }
+            }
+            "maintenance" => ImpairmentProcess::Maintenance {
+                window_ns: args.option_or("window-ms", 50u64)? * 1_000_000,
+                links: args.option_or("links", 2)?,
+            },
+            "jitter" => ImpairmentProcess::DetectionJitter {
+                max_extra_ns: args.option_or("jitter-ms", 5u64)? * 1_000_000,
+            },
+            other => {
+                return Err(format!(
+                    "--process wants gilbert|storm|maintenance|jitter, got {other:?}"
+                )
+                .into())
+            }
+        };
+        family = Box::new(Impaired::new(&graph, family, process, seed));
+    }
+
+    let emb = resolve_embedding(&graph, canonical, args)?;
+    println!("embedding genus {}", emb.genus());
+    let net =
+        PrNetwork::compile(&graph, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
+    println!(
+        "model {} ({} flows, {:.1} demand offered); family {} ({} timed scenarios, {} threads)",
+        flows.label(),
+        flows.len(),
+        flows.offered(),
+        family.label(),
+        family.len(),
+        threads
+    );
+
+    let rows = pr_bench::impair::run(&graph, &net, family.as_ref(), &flows, threads);
+    let s = pr_bench::impair::summarize(&rows);
+    println!("link events:           {} across {} timelines", s.events, s.scenarios);
+    println!("offered demand:        {:.3} demand-seconds", s.offered_demand_seconds);
+    println!(
+        "demand-seconds lost:   packet-recycling {:.3}   reconvergence {:.3}",
+        s.pr_demand_seconds_lost, s.igp_demand_seconds_lost
+    );
+    println!(
+        "loss over time:        packet-recycling {:.6}   reconvergence {:.6}",
+        s.pr_loss_over_time(),
+        s.igp_loss_over_time()
+    );
+    match s.peak_scenario {
+        Some(i) => println!(
+            "peak PR loss:          {:.6} of offered demand (scenario {i})",
+            s.peak_pr_loss_fraction
+        ),
+        None => println!("peak PR loss:          0 (no scenarios)"),
+    }
+    if let Some(format) = format {
+        emit(
+            format,
+            &format!(
+                "impair_{}_{}_{model_name}{}",
+                topology_slug(&topo_spec),
+                processes.join("-"),
+                stem_params(
+                    args,
+                    &[
+                        "rate",
+                        "burst",
+                        "storms",
+                        "radius",
+                        "window-ms",
+                        "links",
+                        "jitter-ms",
+                        "flows",
+                        "hotspots",
+                        "boost",
+                        "seed"
+                    ]
+                )
+            ),
+            || pr_bench::impair::rows_csv(&rows),
             || serde_json::to_string_pretty(&rows).expect("serializable rows"),
         );
     }
@@ -1129,6 +1343,65 @@ mod tests {
     fn sweep_rejects_unknown_family() {
         assert!(sweep(&args("figure1 --family banana")).is_err());
         assert!(sweep(&args("figure1 --family srlg")).is_err(), "figure1 has no coordinates");
+    }
+
+    #[test]
+    fn impair_runs_processes_and_writes_artefacts() {
+        // Located synthetic mesh: every process applies, stacking works.
+        impair(&args("synth:isp:12:7 --model uniform --process gilbert --rate 5 --burst 10"))
+            .unwrap();
+        impair(&args("synth:isp:12:7 --model gravity --process storm --storms 2 --radius 300"))
+            .unwrap();
+        impair(&args("figure1 --model uniform --process maintenance --window-ms 30 --links 1"))
+            .unwrap();
+        impair(&args("figure1 --model uniform --process jitter --jitter-ms 3")).unwrap();
+        impair(&args(
+            "synth:isp:12:7 --model uniform --process gilbert --process jitter --threads 2",
+        ))
+        .unwrap();
+        // The acceptance artefact: a loss-over-time CSV under results/.
+        impair(&args("figure1 --model uniform --process gilbert --format csv")).unwrap();
+        let csv = pr_bench::results_dir().join("impair_figure1_gilbert_uniform.csv");
+        let text = std::fs::read_to_string(csv).unwrap();
+        assert!(text.starts_with("scenario,label,from_ms,to_ms,links_down,"), "{text}");
+    }
+
+    #[test]
+    fn impair_rejects_bad_flags() {
+        // Unknown process, unknown option, negative knobs.
+        assert!(impair(&args("figure1 --model uniform --process banana")).is_err());
+        let err = impair(&args("figure1 --model uniform --family single")).unwrap_err().to_string();
+        assert!(err.contains("unknown option --family"), "{err}");
+        assert!(impair(&args("figure1 --model uniform --rate -1")).is_err());
+        assert!(impair(&args("abilene --process storm --radius -5")).is_err());
+        // Storm needs coordinates; gravity stays coordinate-gated.
+        let err = impair(&args("figure1 --model uniform --process storm")).unwrap_err().to_string();
+        assert!(err.contains("coordinates"), "{err}");
+        assert!(impair(&args("figure1 --process gilbert")).is_err(), "gravity needs coordinates");
+        // Process-specific knobs are rejected under the wrong process.
+        let err = impair(&args("figure1 --model uniform --process jitter --rate 5"))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("--rate") && err.contains("gilbert"), "{err}");
+        let err =
+            impair(&args("abilene --process gilbert --window-ms 10")).unwrap_err().to_string();
+        assert!(err.contains("--window-ms") && err.contains("maintenance"), "{err}");
+        assert!(impair(&args("abilene --process maintenance --storms 2")).is_err());
+        // ...and accepted once their process joins the stack.
+        impair(&args("figure1 --model uniform --process gilbert --process jitter --rate 1"))
+            .unwrap();
+    }
+
+    #[test]
+    fn impairment_knobs_stay_out_of_the_other_subcommands() {
+        // `pr sweep --rate` must be an unknown-option error, not a
+        // silently ignored knob.
+        let err = sweep(&args("figure1 --family outage --rate 5")).unwrap_err().to_string();
+        assert!(err.contains("unknown option --rate"), "{err}");
+        let err = traffic(&args("figure1 --model uniform --burst 10")).unwrap_err().to_string();
+        assert!(err.contains("unknown option --burst"), "{err}");
+        assert!(sweep(&args("figure1 --family flap --jitter-ms 3")).is_err());
+        assert!(traffic(&args("figure1 --model uniform --process gilbert")).is_err());
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! pr sweep   <topology> --family <single|multi|node|srlg|exhaustive|outage|flap> [--threads N]
 //!            [--shards N] [--resume] [--max-shards N]
 //! pr traffic <topology> [--model gravity|uniform|hotspot] [--flows N] [--family <...>]
+//! pr impair  <topology> [--process gilbert|storm|maintenance|jitter]... [--model <...>]
 //! ```
 //!
 //! `<topology>` is `abilene`, `teleglobe`, `geant`, `figure1`, a
@@ -45,6 +46,7 @@ fn main() {
         "stretch" => commands::stretch(&parsed),
         "sweep" => commands::sweep(&parsed),
         "traffic" => commands::traffic(&parsed),
+        "impair" => commands::impair(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

@@ -30,15 +30,23 @@
 //! | [`OutageSweep`] | temporal | one outage per link |
 //! | [`DetectionDelaySweep`] | temporal | one outage per detection delay |
 //! | [`FlapSweep`] | temporal | one flap trace per link |
+//! | [`Impaired`] | temporal decorator | wraps any temporal family with a seeded fault process |
 //!
 //! Sampled families materialise their (user-bounded) sample list at
 //! construction; enumerable families never materialise anything.
+//!
+//! The [`Impaired`] decorator injects a seeded [`ImpairmentProcess`]
+//! (Gilbert–Elliott per-link loss, correlated flap storms, maintenance
+//! windows, detection jitter) into any temporal family's event
+//! timeline — pure in `(scenario index, seed)`, stackable, and the
+//! exact identity when configured to its natural zero.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 mod families;
 mod family;
+mod impairments;
 mod temporal;
 
 pub use families::{
@@ -46,6 +54,7 @@ pub use families::{
     SampledMultiFailures, SingleLinkFailures, SrlgFailures,
 };
 pub use family::{ScenarioFamily, ScenarioIter, ScenarioSlice};
+pub use impairments::{Impaired, ImpairmentProcess};
 pub use temporal::{
     scenario_seed, DetectionDelaySweep, FlapSweep, FlowSpec, LinkEvent, OutageParams, OutageSweep,
     TemporalFamily, TemporalScenario,

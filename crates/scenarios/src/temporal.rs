@@ -93,6 +93,48 @@ pub trait TemporalFamily: Sync {
     }
 }
 
+/// References delegate, so family combinators (the `Impaired`
+/// decorator stack) can borrow an inner family without taking
+/// ownership.
+impl<F: TemporalFamily + ?Sized> TemporalFamily for &F {
+    fn label(&self) -> String {
+        (**self).label()
+    }
+
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn scenario(&self, index: usize) -> TemporalScenario {
+        (**self).scenario(index)
+    }
+
+    fn seed_for(&self, base_seed: u64, index: usize) -> u64 {
+        (**self).seed_for(base_seed, index)
+    }
+}
+
+/// Boxes delegate too — `Box<dyn TemporalFamily>` is what the CLI
+/// builds, and wrapping it in an impairment stack must preserve the
+/// inner family's behaviour (including any overridden `seed_for`).
+impl<F: TemporalFamily + ?Sized> TemporalFamily for Box<F> {
+    fn label(&self) -> String {
+        (**self).label()
+    }
+
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn scenario(&self, index: usize) -> TemporalScenario {
+        (**self).scenario(index)
+    }
+
+    fn seed_for(&self, base_seed: u64, index: usize) -> u64 {
+        (**self).seed_for(base_seed, index)
+    }
+}
+
 /// Splitmix64 hash of `(base, index)` — the per-scenario seeding
 /// discipline of [`TemporalFamily::seed_for`], exposed for serial
 /// reference loops that must match the parallel engine bit for bit.

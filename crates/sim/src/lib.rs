@@ -43,6 +43,7 @@
 mod driver;
 mod event;
 mod metrics;
+mod sampling;
 pub mod scenarios;
 mod simulator;
 mod time;
@@ -51,6 +52,7 @@ mod timed;
 pub use driver::{igp_for, igp_for_with, run_scenario};
 pub use event::EventQueue;
 pub use metrics::{DemandTally, Metrics, SimDropReason};
+pub use sampling::{TallySample, TallySeries};
 pub use simulator::{SimConfig, Simulator};
 pub use time::{transmission_nanos, SimTime};
 pub use timed::{ReconvergingIgp, Static, TimedForwarding};

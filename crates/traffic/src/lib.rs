@@ -27,6 +27,10 @@
 //! * [`ScenarioTraffic`] / [`DemandTally`] — demand-weighted
 //!   resilience metrics: weighted coverage, % demand lost, per-link
 //!   peak load and max-link-utilisation under failure.
+//! * [`replay_timeline`] — the temporal entry: drives a [`FlowSet`]
+//!   through a whole (possibly impaired) link-event timeline and
+//!   returns the demand-weighted loss-over-time curve as a
+//!   [`pr_sim::TallySeries`], one replay per distinct failed set.
 //!
 //! The parallel experiment over scenario families lives in
 //! `pr_bench::traffic`; the CLI front door is `pr traffic`.
@@ -63,6 +67,7 @@
 mod flows;
 mod model;
 mod replay;
+mod timeline;
 
 pub use flows::{Flow, FlowSet};
 pub use model::{GravityTraffic, HotspotTraffic, TrafficMatrix, TrafficModel, UniformTraffic};
@@ -70,6 +75,7 @@ pub use replay::{
     replay_scenario, replay_scenario_bitparallel, replay_scenario_naive, ReplayScratch,
     ScenarioTraffic,
 };
+pub use timeline::{replay_timeline, TimelineTraffic};
 
 // The demand-weighted tally lives with the other run metrics in
 // `pr-sim`; re-exported here because it is this crate's primary

@@ -48,10 +48,10 @@
 //! | [`embedding`] (`pr-embedding`) | rotation systems, face tracing, genus heuristics, planar generators |
 //! | [`core`] (`pr-core`) | PR protocol: header, tables, forwarding agent, packet walker |
 //! | [`baselines`] (`pr-baselines`) | FCP, reconvergence, LFA |
-//! | [`scenarios`] (`pr-scenarios`) | streaming failure families (single/multi/node/SRLG/exhaustive-k) + temporal traces |
-//! | [`sim`] (`pr-sim`) | deterministic discrete-event simulator, loss scenarios |
+//! | [`scenarios`] (`pr-scenarios`) | streaming failure families (single/multi/node/SRLG/exhaustive-k) + temporal traces + seeded impairment decorators |
+//! | [`sim`] (`pr-sim`) | deterministic discrete-event simulator, loss scenarios, timed tally sampling |
 //! | [`topologies`] (`pr-topologies`) | Abilene / GÉANT / Teleglobe + the Figure 1 fixture |
-//! | [`traffic`] (`pr-traffic`) | gravity/uniform/hot-spot matrices, flow sets, batched replay |
+//! | [`traffic`] (`pr-traffic`) | gravity/uniform/hot-spot matrices, flow sets, batched replay, timeline replay |
 //!
 //! The experiment harness (`pr-bench`) is binary-only and not
 //! re-exported; see `DESIGN.md` §4 for the experiment-to-binary map.
@@ -81,9 +81,14 @@ pub mod prelude {
         algo, generators, stretch, AllPairs, Coordinates, Dart, Graph, LinkId, LinkSet, NodeId,
         Path, SpTree,
     };
-    pub use pr_scenarios::{ScenarioFamily, ScenarioIter, TemporalFamily, TemporalScenario};
-    pub use pr_sim::{DemandTally, SimConfig, SimTime, Simulator, Static, TimedForwarding};
-    pub use pr_traffic::{FlowSet, TrafficMatrix, TrafficModel};
+    pub use pr_scenarios::{
+        Impaired, ImpairmentProcess, ScenarioFamily, ScenarioIter, TemporalFamily, TemporalScenario,
+    };
+    pub use pr_sim::{
+        DemandTally, SimConfig, SimTime, Simulator, Static, TallySample, TallySeries,
+        TimedForwarding,
+    };
+    pub use pr_traffic::{replay_timeline, FlowSet, TimelineTraffic, TrafficMatrix, TrafficModel};
 
     /// Re-exported under a named module to avoid clashing with user
     /// identifiers: `use packet_recycling::prelude::*;` then
