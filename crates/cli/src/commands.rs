@@ -28,14 +28,21 @@ USAGE:
                [--seed N] [--threads N] [--stats] [--format csv|json]
                [--shards N] [--resume] [--max-shards N]
     pr traffic <topology> [--model gravity|uniform|hotspot] [--flows N]
-               [--family <single|multi|node|srlg|exhaustive>] [--k N] [--samples N]
-               [--radius KM] [--hotspots N] [--boost X]
+               [--family <single|multi|node|srlg|exhaustive> | --fail A-B...]
+               [--k N] [--samples N] [--radius KM] [--hotspots N] [--boost X]
                [--seed N] [--threads N] [--format csv|json]
     pr impair  <topology> [--process gilbert|storm|maintenance|jitter]...
                [--model gravity|uniform|hotspot] [--rate R] [--burst MS]
                [--storms N] [--radius KM] [--window-ms N] [--links N]
                [--jitter-ms N] [--flows N] [--hotspots N] [--boost X]
                [--seed N] [--threads N] [--format csv|json]
+    pr daemon  start|run <topology> [--model <...>] [--flows N] [--threads N]
+               [--port N] [--metrics-port N] [--addr-file PATH] [--log PATH]
+    pr daemon  stop|status|metrics [--addr-file PATH]
+    pr ctl     link-down A-B | link-up A-B | snapshot | shutdown
+               | set-demand <model> [--flows N] [--hotspots N] [--boost X] [--seed N]
+               | query coverage|stretch|traffic
+               [--addr-file PATH] [--format json]
 
 FAMILIES (pr sweep / pr traffic):
     single      every single-link failure (streamed exhaustively)
@@ -62,7 +69,18 @@ SYNTHETIC FAMILIES (pr gen / synth: specs):
     isp | mesh  jittered gridded-PoP mesh with seeded diagonals (planar, 2-edge-connected)
     tier | hier two-tier core ring + regional trees with redundancy links
 
+DAEMON (resident network twin, pr-daemon):
+    start spawns a detached `daemon run` and waits for the addr file;
+    run serves in the foreground. Ports default to 0 (ephemeral) —
+    clients discover the live addresses through --addr-file (default
+    results/daemon.addr). --log PATH appends mutating events for
+    bit-identical replay on restart. pr ctl speaks the line-delimited
+    JSON control protocol; pr daemon metrics scrapes the Prometheus
+    /metrics page.
+
 Family-specific flags are rejected under any other family.
+`pr traffic --fail A-B` (repeatable) replays one explicit scenario —
+the batch twin of the daemon's link-down state.
 --format csv|json writes machine-readable rows under results/.
 --shards N splits a topological sweep into checkpointable chunks under
 results/<sweep>/; --resume (requires --format) continues a killed run
@@ -838,6 +856,7 @@ fn build_flow_set(
 pub fn traffic(args: &Args) -> CmdResult {
     args.reject_unknown(&[
         "family",
+        "fail",
         "k",
         "samples",
         "radius",
@@ -853,11 +872,22 @@ pub fn traffic(args: &Args) -> CmdResult {
     ])?;
     let topo_spec = args.positional(0, "topology")?.to_string();
     let (graph, canonical) = load_topology(&topo_spec)?;
-    let family_name = args.option("family").unwrap_or("single");
+    // `--fail A-B` (repeatable) replays one explicit scenario — the
+    // batch twin of the daemon's link-down state, and what the CI smoke
+    // compares a live `/metrics` scrape against.
+    let explicit = !args.options("fail").is_empty();
+    let family_name = if explicit {
+        if args.option("family").is_some() {
+            return Err("--fail replays one explicit scenario and conflicts with --family".into());
+        }
+        "explicit"
+    } else {
+        args.option("family").unwrap_or("single")
+    };
     // Validate the family up front: the shared builder's error message
     // advertises the temporal families, which `pr traffic` (a static
     // replay) does not accept.
-    if !["single", "multi", "node", "srlg", "exhaustive"].contains(&family_name) {
+    if !explicit && !["single", "multi", "node", "srlg", "exhaustive"].contains(&family_name) {
         let hint = if matches!(family_name, "outage" | "flap") {
             " (pr traffic replays static failure scenarios; temporal families are pr sweep only)"
         } else {
@@ -880,7 +910,11 @@ pub fn traffic(args: &Args) -> CmdResult {
     println!("embedding genus {}", emb.genus());
     let net =
         PrNetwork::compile(&graph, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
-    let family = topological_family(&graph, family_name, seed, args)?;
+    let family: Box<dyn ScenarioFamily + '_> = if explicit {
+        Box::new(vec![parse_failures(&graph, args)?])
+    } else {
+        topological_family(&graph, family_name, seed, args)?
+    };
     println!(
         "model {} ({} flows, {:.1} demand offered); family {} ({} scenarios, {} threads)",
         flows.label(),
@@ -922,7 +956,7 @@ pub fn traffic(args: &Args) -> CmdResult {
                 topology_slug(&topo_spec),
                 stem_params(
                     args,
-                    &["k", "samples", "radius", "flows", "hotspots", "boost", "seed"]
+                    &["k", "samples", "radius", "fail", "flows", "hotspots", "boost", "seed"]
                 )
             ),
             || pr_bench::traffic::rows_csv(&rows),
@@ -1088,6 +1122,320 @@ pub fn impair(args: &Args) -> CmdResult {
             || pr_bench::impair::rows_csv(&rows),
             || serde_json::to_string_pretty(&rows).expect("serializable rows"),
         );
+    }
+    Ok(())
+}
+
+/// The options `pr daemon start|run` accepts; `start` forwards every
+/// one it was given to the spawned `daemon run` server verbatim.
+const DAEMON_OPTIONS: &[&str] = &[
+    "model",
+    "flows",
+    "hotspots",
+    "boost",
+    "seed",
+    "threads",
+    "port",
+    "metrics-port",
+    "addr-file",
+    "log",
+    "restarts",
+    "iterations",
+];
+
+/// The addr file a daemon writes and clients read: `--addr-file PATH`,
+/// defaulting to `results/daemon.addr`.
+fn daemon_addr_file(args: &Args) -> std::path::PathBuf {
+    match args.option("addr-file") {
+        Some(path) => std::path::PathBuf::from(path),
+        None => pr_bench::results_dir().join("daemon.addr"),
+    }
+}
+
+/// An optional typed option (no default — `None` when absent).
+fn optional<T: std::str::FromStr>(args: &Args, name: &str) -> Result<Option<T>, String> {
+    match args.option(name) {
+        None => Ok(None),
+        Some(text) => {
+            text.parse().map(Some).map_err(|_| format!("bad value {text:?} for --{name}"))
+        }
+    }
+}
+
+/// `pr daemon start|run|stop|status|metrics` — lifecycle of the
+/// resident network twin (`pr-daemon`).
+///
+/// `run` serves in the foreground; `start` spawns `run` detached and
+/// waits for the addr file; `stop`/`status` speak the control
+/// protocol; `metrics` scrapes the Prometheus page (so CI needs no
+/// curl). `--port 0` / `--metrics-port 0` (the default) bind ephemeral
+/// ports — clients discover them through the addr file.
+pub fn daemon(args: &Args) -> CmdResult {
+    match args.positional(0, "action")? {
+        "run" => daemon_run(args),
+        "start" => daemon_start(args),
+        "stop" => {
+            args.reject_unknown(&["addr-file"])?;
+            print_response(
+                pr_daemon::request_via(&daemon_addr_file(args), &pr_daemon::Request::Shutdown)?,
+                false,
+            )
+        }
+        "status" => {
+            args.reject_unknown(&["addr-file", "format"])?;
+            let json = match args.option("format") {
+                None => false,
+                Some("json") => true,
+                Some(other) => return Err(format!("--format wants json, got {other:?}").into()),
+            };
+            print_response(
+                pr_daemon::request_via(&daemon_addr_file(args), &pr_daemon::Request::Snapshot)?,
+                json,
+            )
+        }
+        "metrics" => {
+            args.reject_unknown(&["addr-file"])?;
+            let addrs = pr_daemon::read_addr_file(&daemon_addr_file(args))?;
+            print!("{}", pr_daemon::scrape_metrics(&addrs.metrics)?);
+            Ok(())
+        }
+        other => Err(format!("daemon wants start|run|stop|status|metrics, got {other:?}").into()),
+    }
+}
+
+/// `pr daemon run <topology>`: compile the twin and serve until a
+/// `shutdown` request (foreground).
+fn daemon_run(args: &Args) -> CmdResult {
+    args.reject_unknown(DAEMON_OPTIONS)?;
+    let topo_spec = args.positional(1, "topology")?.to_string();
+    let (graph, canonical) = load_topology(&topo_spec)?;
+    let threads = args.option_or("threads", pr_bench::engine::default_threads())?.max(1);
+    let default_model = if graph.fully_located() { "gravity" } else { "uniform" };
+    let mut spec = pr_daemon::DemandSpec::named(args.option("model").unwrap_or(default_model));
+    spec.flows = args.option_or("flows", 0usize)?;
+    spec.hotspots = optional(args, "hotspots")?;
+    spec.boost = args.option_or("boost", spec.boost)?;
+    spec.seed = args.option_or("seed", spec.seed)?;
+    let emb = resolve_embedding(&graph, canonical, args)?;
+    println!("embedding genus {}", emb.genus());
+    let net =
+        PrNetwork::compile(&graph, emb, PrMode::DistanceDiscriminator, DiscriminatorKind::Hops);
+    let twin = pr_daemon::Twin::new(graph, net, spec, threads)?;
+    let config = pr_daemon::DaemonConfig {
+        port: args.option_or("port", 0u16)?,
+        metrics_port: args.option_or("metrics-port", 0u16)?,
+        addr_file: daemon_addr_file(args),
+        event_log: args.option("log").map(std::path::PathBuf::from),
+    };
+    pr_daemon::serve(twin, &config)?;
+    Ok(())
+}
+
+/// `pr daemon start <topology>`: spawn `daemon run` detached, poll for
+/// the addr file (watching for early death), and report the addresses.
+fn daemon_start(args: &Args) -> CmdResult {
+    args.reject_unknown(DAEMON_OPTIONS)?;
+    let topo_spec = args.positional(1, "topology")?.to_string();
+    let addr_file = daemon_addr_file(args);
+    if addr_file.exists() {
+        if pr_daemon::request_via(&addr_file, &pr_daemon::Request::Snapshot).is_ok() {
+            return Err(format!("a daemon is already serving ({})", addr_file.display()).into());
+        }
+        // Stale addr file from an unclean exit: clear it so the poll
+        // below observes the new daemon's write, not the corpse's.
+        let _ = std::fs::remove_file(&addr_file);
+    }
+    let out_path = addr_file.with_extension("out");
+    let out = std::fs::File::create(&out_path)?;
+    let mut cmd = std::process::Command::new(std::env::current_exe()?);
+    cmd.arg("daemon").arg("run").arg(&topo_spec);
+    cmd.arg("--addr-file").arg(&addr_file);
+    for opt in DAEMON_OPTIONS {
+        if *opt == "addr-file" {
+            continue;
+        }
+        if let Some(value) = args.option(opt) {
+            cmd.arg(format!("--{opt}")).arg(value);
+        }
+    }
+    cmd.stdin(std::process::Stdio::null()).stdout(out.try_clone()?).stderr(out);
+    let mut child = cmd.spawn()?;
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(300);
+    while !addr_file.exists() {
+        if let Some(status) = child.try_wait()? {
+            let log = std::fs::read_to_string(&out_path).unwrap_or_default();
+            let tail: Vec<&str> = log.lines().rev().take(5).collect();
+            return Err(format!(
+                "daemon exited during startup ({status}): {}",
+                tail.into_iter().rev().collect::<Vec<_>>().join(" / ")
+            )
+            .into());
+        }
+        if std::time::Instant::now() >= deadline {
+            let _ = child.kill();
+            return Err("daemon did not become ready within 300s".into());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    let addrs = pr_daemon::read_addr_file(&addr_file)?;
+    println!("pr-daemon: pid {}", child.id());
+    println!("pr-daemon: control {}", addrs.control);
+    println!("pr-daemon: metrics http://{}/metrics", addrs.metrics);
+    println!("pr-daemon: addr file {}", addr_file.display());
+    Ok(())
+}
+
+/// `pr ctl <command>` — one-shot control-protocol client against the
+/// daemon behind `--addr-file` (default `results/daemon.addr`).
+pub fn ctl(args: &Args) -> CmdResult {
+    use pr_daemon::{QueryKind, Request};
+    args.reject_unknown(&["addr-file", "flows", "hotspots", "boost", "seed", "format"])?;
+    let json = match args.option("format") {
+        None => false,
+        Some("json") => true,
+        Some(other) => return Err(format!("--format wants json, got {other:?}").into()),
+    };
+    let req = match args.positional(0, "command")? {
+        "link-down" => Request::LinkDown { link: args.positional(1, "link")?.to_string() },
+        "link-up" => Request::LinkUp { link: args.positional(1, "link")?.to_string() },
+        "set-demand" => Request::SetDemand {
+            model: args.positional(1, "model")?.to_string(),
+            flows: optional(args, "flows")?,
+            hotspots: optional(args, "hotspots")?,
+            boost: optional(args, "boost")?,
+            seed: optional(args, "seed")?,
+        },
+        "query" => Request::Query {
+            what: match args.positional(1, "what")? {
+                "coverage" => QueryKind::Coverage,
+                "stretch" => QueryKind::Stretch,
+                "traffic" => QueryKind::Traffic,
+                other => {
+                    return Err(
+                        format!("query wants coverage|stretch|traffic, got {other:?}").into()
+                    )
+                }
+            },
+        },
+        "snapshot" => Request::Snapshot,
+        "shutdown" => Request::Shutdown,
+        other => {
+            return Err(format!(
+                "ctl wants link-down|link-up|set-demand|query|snapshot|shutdown, got {other:?}"
+            )
+            .into())
+        }
+    };
+    if !matches!(req, Request::SetDemand { .. }) {
+        for opt in ["flows", "hotspots", "boost", "seed"] {
+            if args.option(opt).is_some() {
+                return Err(format!("option --{opt} only applies to ctl set-demand").into());
+            }
+        }
+    }
+    print_response(pr_daemon::request_via(&daemon_addr_file(args), &req)?, json)
+}
+
+/// Renders a daemon [`pr_daemon::Response`] — human-readable lines
+/// mirroring the batch CLI's formats (so eyeballs and scripts can
+/// compare them), or the raw JSON under `--format json`. An `Error`
+/// response exits non-zero like any other CLI failure.
+fn print_response(resp: pr_daemon::Response, json: bool) -> CmdResult {
+    use pr_daemon::Response;
+    if let Response::Error { message } = &resp {
+        return Err(format!("daemon: {message}").into());
+    }
+    if json {
+        println!("{}", serde_json::to_string_pretty(&resp).expect("serializable response"));
+        return Ok(());
+    }
+    match resp {
+        Response::Done { info } => println!("ok: {info}"),
+        Response::Bye => println!("daemon: bye"),
+        Response::Traffic(r) => {
+            println!("failed links:          {}", r.failed_links);
+            println!(
+                "weighted coverage:     {:.6} (delivered share of affected, connected demand)",
+                r.traffic.tally.weighted_coverage()
+            );
+            println!(
+                "demand lost:           {:.4}% ({:.1} of {:.1} demand units)",
+                100.0 * r.traffic.tally.demand_lost_fraction(),
+                r.traffic.tally.lost(),
+                r.traffic.tally.offered
+            );
+            match &r.peak_link {
+                Some(link) => {
+                    println!("max link utilisation:  {:.4} (link {link})", r.max_link_utilisation)
+                }
+                None => println!("max link utilisation:  {:.4}", r.max_link_utilisation),
+            }
+            if let Some(stretch) = r.mean_weighted_stretch {
+                println!("mean weighted stretch: {stretch:.4} (over delivered affected demand)");
+            }
+        }
+        Response::Coverage(r) => {
+            println!("failed links:          {}", r.failed_links);
+            println!("coverage:              {:.6} (uniform-unit delivered share)", r.coverage);
+            println!(
+                "demand lost:           {:.4}% ({:.1} of {:.1} demand units)",
+                100.0 * r.demand_lost_fraction,
+                r.tally.lost(),
+                r.tally.offered
+            );
+        }
+        Response::Stretch(r) => {
+            println!(
+                "failed links:          {} ({} pairs evaluated, {} disconnected)",
+                r.failed_links, r.evaluated_pairs, r.disconnected_pairs
+            );
+            println!(
+                "undelivered:           fcp {}   packet-recycling {}",
+                r.undelivered_fcp, r.undelivered_pr
+            );
+            for s in &r.schemes {
+                println!(
+                    "{:<22} mean {:.4}   max {:.4}   ({} samples)",
+                    format!("{}:", s.scheme),
+                    s.mean,
+                    s.max,
+                    s.samples
+                );
+            }
+        }
+        Response::State(s) => {
+            println!(
+                "graph:                 {} nodes, {} links (fingerprint {})",
+                s.nodes, s.links, s.fingerprint
+            );
+            println!("threads:               {}", s.threads);
+            println!(
+                "demand:                {} ({} flows, {:.1} offered)",
+                s.demand, s.flows, s.offered
+            );
+            if s.failed.is_empty() {
+                println!("failed links:          0");
+            } else {
+                println!("failed links:          {} ({})", s.failed.len(), s.failed.join(", "));
+            }
+            println!("coverage:              {:.6}", s.gauges.coverage);
+            println!("weighted coverage:     {:.6}", s.gauges.weighted_coverage);
+            println!("demand lost:           {:.4}%", 100.0 * s.gauges.demand_lost_fraction);
+            println!("max link utilisation:  {:.4}", s.gauges.max_link_utilisation);
+            println!(
+                "events applied:        {} ({} down, {} up, {} demand)",
+                s.counters.events,
+                s.counters.link_down,
+                s.counters.link_up,
+                s.counters.demand_updates
+            );
+            println!("queries answered:      {}", s.counters.queries);
+            println!(
+                "repairs:               {} incremental, {} full rebuilds",
+                s.counters.repairs, s.counters.full_rebuilds
+            );
+        }
+        Response::Error { .. } => unreachable!("handled above"),
     }
     Ok(())
 }

@@ -12,6 +12,8 @@
 //!            [--shards N] [--resume] [--max-shards N]
 //! pr traffic <topology> [--model gravity|uniform|hotspot] [--flows N] [--family <...>]
 //! pr impair  <topology> [--process gilbert|storm|maintenance|jitter]... [--model <...>]
+//! pr daemon  start|run|stop|status|metrics [<topology>] [--port N] [--metrics-port N]
+//! pr ctl     <command> [--addr-file PATH] [--format json]
 //! ```
 //!
 //! `<topology>` is `abilene`, `teleglobe`, `geant`, `figure1`, a
@@ -47,6 +49,8 @@ fn main() {
         "sweep" => commands::sweep(&parsed),
         "traffic" => commands::traffic(&parsed),
         "impair" => commands::impair(&parsed),
+        "daemon" => commands::daemon(&parsed),
+        "ctl" => commands::ctl(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

@@ -23,7 +23,7 @@ use pr_core::{
 };
 use pr_graph::{bits, AllPairs, Graph, LinkId, LinkSet, NodeId, SpScratch, SpTree};
 use pr_sim::DemandTally;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use crate::FlowSet;
 
@@ -83,7 +83,10 @@ impl<S> Default for ReplayScratch<S> {
 ///
 /// `PartialEq` compares every field exactly: the parallel traffic
 /// sweep asserts bit-identity against its serial reference.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+/// `Deserialize` lets the daemon control protocol round-trip a replay
+/// outcome losslessly (the compat `serde_json` renders `f64` by
+/// shortest round-trip, so the JSON hop is bit-exact too).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScenarioTraffic {
     /// Per-flow outcomes, demand-weighted.
     pub tally: DemandTally,
